@@ -1,0 +1,47 @@
+"""Shared plumbing for the per-figure benchmarks."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.figures import FIGURES
+from repro.experiments.harness import run_figure
+from repro.metrics.collect import Sweep
+from repro.metrics.report import format_series_table
+from repro.schedulers.registry import make_scheduler
+from repro.simulator.runtime import simulate
+
+from benchmarks.conftest import record_table
+
+
+def regenerate(figure_id: str, points: Optional[int] = None) -> Sweep:
+    """Run the figure's reduced-scale sweep and record its table."""
+    cfg = FIGURES[figure_id]
+    sweep = run_figure(figure_id, scale="small", points=points)
+    header = f"[paper {figure_id}] {cfg.title} — metric: {cfg.metric}"
+    table = header + "\n" + format_series_table(sweep, metric=cfg.metric)
+    record_table(figure_id, table)
+    return sweep
+
+
+def time_representative(
+    benchmark, figure_id: str, scheduler: str, n: Optional[int] = None
+):
+    """Time one simulate() call at a mid-sweep instance size.
+
+    One round only: a full run is seconds-scale and deterministic, so
+    repetition buys nothing.
+    """
+    cfg = FIGURES[figure_id]
+    ns = cfg.ns_small
+    size = n if n is not None else ns[len(ns) // 2]
+    platform = cfg.platform_factory("small")()
+    graph = cfg.workload(size)
+
+    def once():
+        sched, eviction = make_scheduler(scheduler)
+        return simulate(graph, platform, sched, eviction=eviction, seed=0)
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    assert sum(g.n_tasks for g in result.gpus) == graph.n_tasks
+    return result

@@ -1,0 +1,58 @@
+"""Extension bench: task outputs (write-back traffic).
+
+The paper drops task outputs from its model, arguing that "the output
+data is most often much smaller than the input data and can be
+transferred concurrently with data input.  Data output is then not the
+driving constraint for efficient execution."  The output extension lets
+us *test* that claim: the same 2D matmul with explicit 3.7 MB C-tile
+outputs (vs 14.75 MB inputs) should lose only a modest fraction of
+throughput, for every scheduler.
+"""
+
+from benchmarks.conftest import record_table
+from repro.platform.spec import tesla_v100_node
+from repro.schedulers.registry import make_scheduler
+from repro.simulator.runtime import simulate
+from repro.workloads.matmul2d import matmul2d
+
+SCHEDULERS = ["eager", "dmdar", "darts+luf"]
+N = 30
+
+
+def test_ablation_outputs(benchmark):
+    base = matmul2d(N)
+    with_out = matmul2d(N, with_outputs=True)
+    platform = tesla_v100_node(2, memory_bytes=250e6)
+
+    def run(graph, name):
+        sched, eviction = make_scheduler(name)
+        return simulate(graph, platform, sched, eviction=eviction, seed=1)
+
+    rows = []
+    for name in SCHEDULERS:
+        rows.append((run(base, name), run(with_out, name)))
+    benchmark.pedantic(
+        lambda: run(with_out, "darts+luf"), rounds=1, iterations=1
+    )
+
+    lines = [
+        f"[extension] explicit task outputs, matmul2d(n={N}), "
+        "2 GPUs x 250 MB",
+        f"{'scheduler':>12} {'GF/s no-out':>12} {'GF/s with-out':>14} "
+        f"{'stored MB':>10}",
+    ]
+    for no_out, out in rows:
+        lines.append(
+            f"{no_out.scheduler:>12} {no_out.gflops:>12.0f} "
+            f"{out.gflops:>14.0f} {out.total_stored_bytes / 1e6:>10.0f}"
+        )
+    record_table("ablation_outputs", "\n".join(lines))
+
+    for no_out, out in rows:
+        # the paper's simplification: outputs cost little (< 25% here,
+        # where output bytes are 1/8 of input traffic potential)
+        assert out.gflops > 0.75 * no_out.gflops
+        assert out.total_stores == N * N
+        assert out.total_stored_bytes == sum(
+            d.size for d in with_out.data if with_out.is_produced(d.id)
+        )

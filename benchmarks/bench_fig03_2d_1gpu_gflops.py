@@ -1,0 +1,27 @@
+"""Paper Figure 3: 2D matmul throughput on one V100, sweep of working set.
+
+Expected shape (paper §V-B): EAGER collapses to the bus-bound plateau
+once matrix B no longer fits in the 500 MB GPU memory; DMDAR degrades
+more gently; mHFP is near-roofline without its scheduling time but
+unusable with it; DARTS (LRU) suffers the domino effect; DARTS+LUF stays
+near the roofline throughout.
+"""
+
+from benchmarks._common import regenerate, time_representative
+
+
+def test_fig03_2d_1gpu_gflops(benchmark):
+    sweep = regenerate("fig3")
+    time_representative(benchmark, "fig3", "darts+luf")
+
+    # Shape assertions on the constrained tail of the sweep (the last
+    # points are past the "B fits" threshold).
+    assert sweep.gain("gflops", "DARTS+LUF", "EAGER", last_k=3) > 1.3
+    assert sweep.gain("gflops", "DARTS+LUF", "DMDAR", last_k=3) > 1.02
+    assert sweep.gain("gflops", "DARTS+LUF", "DARTS", last_k=3) > 1.0
+    # mHFP's packing time dominates once charged (the paper's point):
+    assert (
+        sweep.gain("gflops_with_sched", "DARTS+LUF", "mHFP", last_k=3) > 1.5
+    )
+    # ...but mHFP's schedule itself is excellent:
+    assert sweep.gain("gflops", "mHFP", "EAGER", last_k=3) > 1.3

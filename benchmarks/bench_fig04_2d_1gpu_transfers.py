@@ -1,0 +1,27 @@
+"""Paper Figure 4: data transferred (MB) on one V100, 2D matmul sweep.
+
+Expected shape: EAGER's traffic explodes past the "B fits" threshold and
+crosses the PCI-bus limit curve (it cannot reach the roofline any more);
+DARTS+LUF and mHFP stay lowest; DARTS (LRU) sits in between because of
+re-fetches after pathological evictions.
+"""
+
+from benchmarks._common import regenerate, time_representative
+
+
+def test_fig04_2d_1gpu_transfers(benchmark):
+    sweep = regenerate("fig4")
+    time_representative(benchmark, "fig4", "eager")
+
+    assert sweep.gain("transfers_mb", "EAGER", "DARTS+LUF", last_k=3) > 3.0
+    assert sweep.gain("transfers_mb", "DARTS", "DARTS+LUF", last_k=3) > 1.0
+    assert sweep.gain("transfers_mb", "DMDAR", "DARTS+LUF", last_k=3) > 1.0
+
+    # EAGER exceeds the PCI limit curve on the most constrained points
+    # (the paper's hard-limit argument).
+    pci = sweep.reference_curves["PCI bus limit (MB)"]
+    eager = sweep.series["EAGER"].values("transfers_mb")
+    assert any(e > p for e, p in zip(eager[-3:], pci[-3:]))
+    # DARTS+LUF stays under it everywhere.
+    luf = sweep.series["DARTS+LUF"].values("transfers_mb")
+    assert all(v <= p for v, p in zip(luf, pci))

@@ -1,0 +1,19 @@
+"""Paper Figure 5: 2D matmul on 2 GPUs, simulation (no scheduling cost).
+
+Expected shape: with scheduling time ignored, the static packers (mHFP,
+hMETIS+R) and DARTS+LUF all do well; EAGER and DARTS-on-LRU degrade past
+the cumulated-memory thresholds; DMDAR sits in between.
+"""
+
+from benchmarks._common import regenerate, time_representative
+
+
+def test_fig05_2d_2gpu_sim(benchmark):
+    sweep = regenerate("fig5")
+    time_representative(benchmark, "fig5", "mhfp")
+
+    assert sweep.gain("gflops", "DARTS+LUF", "EAGER", last_k=3) > 1.3
+    assert sweep.gain("gflops", "mHFP", "EAGER", last_k=3) > 1.3
+    assert sweep.gain("gflops", "DARTS+LUF", "DMDAR", last_k=3) > 1.0
+    # DARTS needs LUF under pressure
+    assert sweep.gain("gflops", "DARTS+LUF", "DARTS", last_k=3) > 1.0

@@ -1,0 +1,28 @@
+"""Paper Figure 6: 2D matmul on 2 GPUs, "real" (scheduling time charged).
+
+Expected shape: like Fig 5 but hMETIS+R is shown twice — its partitioning
+wall-clock cost wipes out the benefit (our pure-Python partitioner makes
+this even starker than the paper's hMETIS-in-C), while the no-part-time
+curve stays competitive.  DARTS+LUF needs no static phase and wins the
+constrained region.
+"""
+
+from benchmarks._common import regenerate, time_representative
+
+
+def test_fig06_2d_2gpu_real(benchmark):
+    sweep = regenerate("fig6")
+    time_representative(benchmark, "fig6", "hmetis+r")
+
+    m = "gflops_with_sched"
+    assert sweep.gain(m, "DARTS+LUF", "EAGER", last_k=3) > 1.2
+    assert sweep.gain(m, "DARTS+LUF", "DMDAR", last_k=3) > 1.0
+    # partitioning time matters:
+    assert (
+        sweep.gain(m, "hMETIS+R no sched. time", "hMETIS+R", last_k=3) > 1.5
+    )
+    # without it, the partition is decent:
+    assert (
+        sweep.gain("gflops", "hMETIS+R no sched. time", "EAGER", last_k=3)
+        > 1.2
+    )

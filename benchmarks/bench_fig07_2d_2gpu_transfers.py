@@ -1,0 +1,22 @@
+"""Paper Figure 7: data transferred on 2 GPUs, 2D matmul sweep.
+
+Expected shape: EAGER's traffic explodes past "B fits in cumulated
+memory"; DARTS+LUF's stays low — though the paper notes it may transfer
+*more* than DMDAR on some mid-range points while still winning on
+throughput thanks to better transfer/compute overlap (checked in the
+fig6 bench).
+"""
+
+from benchmarks._common import regenerate, time_representative
+
+
+def test_fig07_2d_2gpu_transfers(benchmark):
+    sweep = regenerate("fig7")
+    time_representative(benchmark, "fig7", "dmdar")
+
+    assert sweep.gain("transfers_mb", "EAGER", "DARTS+LUF", last_k=3) > 2.0
+    assert sweep.gain("transfers_mb", "EAGER", "hMETIS+R", last_k=3) > 1.5
+    # traffic is never below the working set (compulsory loads)
+    for name, series in sweep.series.items():
+        for point in series.points:
+            assert point.transfers_mb >= point.working_set_mb * 0.99, name

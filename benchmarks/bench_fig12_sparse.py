@@ -1,0 +1,19 @@
+"""Paper Figure 12: sparse 2D matmul (98 % tasks removed) on 4 GPUs.
+
+Expected shape (paper §V-G): scarce data reuse and a high comm/comp
+ratio; DARTS+LUF navigates the sparse sharing structure and beats DMDAR
+(~40 % in the paper); OPTI does not hurt at these task counts.
+"""
+
+from benchmarks._common import regenerate, time_representative
+
+
+def test_fig12_sparse(benchmark):
+    sweep = regenerate("fig12")
+    time_representative(benchmark, "fig12", "darts+luf")
+
+    m = "gflops_with_sched"
+    assert sweep.gain(m, "DARTS+LUF", "DMDAR", last_k=4) > 1.05
+    assert sweep.gain(m, "DARTS+LUF", "EAGER", last_k=4) > 1.05
+    # OPTI is harmless here (paper: "it does not negatively impact")
+    assert sweep.gain(m, "DARTS+LUF+OPTI", "DARTS+LUF", last_k=4) > 0.9

@@ -1,0 +1,24 @@
+"""Paper Figure 13: sparse 2D matmul with no memory limit (32 GB/GPU).
+
+Expected shape: without memory pressure nobody evicts, yet processing
+*order* still matters for distributing transfers over time; DARTS+OPTI
+is best in the paper, with hMETIS+R dragged down by its partitioning
+cost only.
+"""
+
+from benchmarks._common import regenerate, time_representative
+
+
+def test_fig13_sparse_nolimit(benchmark):
+    sweep = regenerate("fig13")
+    result = time_representative(benchmark, "fig13", "darts+luf+opti")
+
+    # no memory limit -> zero evictions
+    assert result.total_evictions == 0
+
+    m = "gflops_with_sched"
+    assert sweep.gain(m, "DARTS+LUF+OPTI", "EAGER", last_k=4) > 0.95
+    # hMETIS+R's partition cost is pure loss here:
+    assert (
+        sweep.gain(m, "hMETIS+R no sched. time", "hMETIS+R", last_k=4) > 1.2
+    )

@@ -1,0 +1,40 @@
+"""Benchmark harness support.
+
+Each ``bench_figXX`` module regenerates one paper figure at reduced scale
+(see ``repro.experiments.figures``), records its series table, and times
+one representative run with pytest-benchmark.  Tables are emitted in the
+terminal summary (so they survive output capture and land in
+``bench_output.txt``) and mirrored to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+_TABLES: Dict[str, str] = {}
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record_table(name: str, text: str) -> None:
+    """Register a figure's series table for the terminal summary."""
+    _TABLES[name] = text
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 78)
+    terminalreporter.write_line(
+        "Regenerated paper figures (series tables; see EXPERIMENTS.md "
+        "for paper-vs-measured)"
+    )
+    terminalreporter.write_line("=" * 78)
+    for name in sorted(_TABLES):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(_TABLES[name])

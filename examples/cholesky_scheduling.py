@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Scheduling the task set of a tiled Cholesky factorisation on 4 GPUs.
+
+The Cholesky scenario (paper §V-F) is the stress test for DARTS's
+scheduling *cost*: Θ(n³) tasks with an irregular sharing pattern and up
+to three inputs each (GEMM reads A[i,j], A[i,k], A[j,k]).  This example
+shows why the paper introduces the OPTI variant — the exhaustive scan
+for the best datum is too slow at these task counts — and demonstrates
+the trade-off by measuring both simulated makespan and the scheduler's
+own wall-clock decision time.
+
+Run:  python examples/cholesky_scheduling.py [n_tiles]
+"""
+
+import sys
+
+from repro import cholesky_tasks, make_scheduler, simulate, tesla_v100_node
+from repro.core.bounds import roofline_gflops
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    graph = cholesky_tasks(n)
+    kinds = {}
+    for t in graph.tasks:
+        kinds[t.name.split("(")[0]] = kinds.get(t.name.split("(")[0], 0) + 1
+    platform = tesla_v100_node(n_gpus=4)
+    roofline = roofline_gflops(platform.n_gpus, platform.gpus[0].gflops)
+
+    print(f"Cholesky task set, {n}x{n} tiles: {graph.n_tasks} tasks "
+          f"({', '.join(f'{v} {k}' for k, v in sorted(kinds.items()))})")
+    print(f"data: {graph.n_data} tiles, working set "
+          f"{graph.working_set_bytes / 1e6:.0f} MB; 4 GPUs x 500 MB\n")
+
+    header = (f"{'scheduler':>26} {'GFlop/s':>9} {'w/ sched time':>13} "
+              f"{'MB moved':>9} {'sched wall':>11}")
+    print(header)
+    print("-" * len(header))
+    for name in [
+        "eager",
+        "dmdar",
+        "darts+luf",
+        "darts+luf-3inputs",
+        "darts+luf+opti-3inputs",
+    ]:
+        scheduler, eviction = make_scheduler(name)
+        result = simulate(graph, platform, scheduler, eviction=eviction,
+                          seed=11)
+        print(f"{result.scheduler:>26} {result.gflops:9.0f} "
+              f"{result.gflops_with_scheduling:13.0f} "
+              f"{result.total_mb:9.0f} {result.scheduling_time:10.2f}s")
+
+    print(f"\nroofline: {roofline:.0f} GFlop/s.  The OPTI variant stops "
+          "the datum scan at the first hit,\ntrading a little schedule "
+          "quality for an order of magnitude less scheduling time —\n"
+          "the difference between the two right-hand columns.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Tasks with dependencies — the paper's future-work extension (§VI).
+
+The paper evaluates the *independent-task* Cholesky set (dependencies
+stripped).  This example runs the same task set both ways on 4 GPUs:
+
+* ``independent`` — the paper's setting: every task available upfront;
+* ``with DAG``    — the real Cholesky precedence constraints, using the
+  ``dependencies=`` extension of the runtime: tasks are released as
+  their predecessors finish, and every scheduler transparently operates
+  on the released subset.
+
+With dependencies the available-task window shrinks (especially at the
+start/end of the factorisation), which squeezes the locality-aware
+strategies — quantifying how much of their advantage survives is exactly
+why the paper lists this as the next step.
+
+Run:  python examples/dependent_tasks.py [n_tiles]
+"""
+
+import sys
+
+from repro import make_scheduler, simulate, tesla_v100_node
+from repro.dag import cholesky_dag
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 14
+    graph, deps = cholesky_dag(n)
+    platform = tesla_v100_node(n_gpus=4)
+    cp_s = deps.critical_path_flops(graph) / (13_253.0 * 1e9)
+
+    print(f"Cholesky {n}x{n} tiles: {graph.n_tasks} tasks, "
+          f"{deps.n_edges} dependency edges")
+    print(f"critical path: {cp_s * 1e3:.2f} ms of compute "
+          f"(lower-bounds the DAG makespan on any GPU count)\n")
+
+    header = (f"{'scheduler':>18} {'independent':>12} {'with DAG':>12} "
+              f"{'DAG penalty':>12}")
+    print(header + "   (GFlop/s)")
+    print("-" * (len(header) + 12))
+    for name in ["eager", "dmdar", "darts+luf-3inputs"]:
+        sched_free, ev = make_scheduler(name)
+        free = simulate(graph, platform, sched_free, eviction=ev, seed=4)
+        sched_dag, ev = make_scheduler(name)
+        dag = simulate(graph, platform, sched_dag, eviction=ev, seed=4,
+                       dependencies=deps)
+        penalty = 100 * (1 - dag.gflops / free.gflops)
+        print(f"{free.scheduler:>18} {free.gflops:12.0f} {dag.gflops:12.0f} "
+              f"{penalty:11.1f}%")
+
+    print("\nDependencies shrink the set of schedulable tasks, so locality"
+          "-aware strategies\nlose part of their edge — the trade-off the "
+          "paper's future work targets.")
+
+
+if __name__ == "__main__":
+    main()

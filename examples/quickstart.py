@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: schedule a 2D-blocked matmul on two memory-limited GPUs.
+
+Builds the paper's flagship scenario — a 40×40 blocked matrix product
+whose 1180 MB working set overwhelms the two GPUs' memory (capped at
+250 MB each, the paper's trick to create memory pressure on small
+instances) — and compares the baseline EAGER scheduler, StarPU's DMDAR,
+and the paper's DARTS+LUF on throughput and data movement.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import make_scheduler, matmul2d, simulate, tesla_v100_node
+from repro.core.bounds import pci_transfer_limit_bytes, roofline_gflops
+
+
+def main() -> None:
+    n = 40
+    graph = matmul2d(n)  # 1600 tasks; 80 data blocks of ~14.75 MB
+    platform = tesla_v100_node(n_gpus=2, memory_bytes=250e6)
+
+    print(f"workload : {graph.name}")
+    print(f"  tasks={graph.n_tasks}  data={graph.n_data}  "
+          f"working set={graph.working_set_bytes / 1e6:.0f} MB")
+    print(f"platform : {platform.n_gpus} GPUs x "
+          f"{platform.gpus[0].memory_bytes / 1e6:.0f} MB, "
+          f"{platform.bus.bandwidth / 1e9:.0f} GB/s shared bus")
+    roofline = roofline_gflops(platform.n_gpus, platform.gpus[0].gflops)
+    pci_mb = pci_transfer_limit_bytes(
+        graph, platform.n_gpus, platform.gpus[0].gflops,
+        platform.bus.bandwidth) / 1e6
+    print(f"bounds   : roofline={roofline:.0f} GFlop/s, "
+          f"PCI-limit={pci_mb:.0f} MB transferable at the roofline\n")
+
+    header = (f"{'scheduler':>12} {'GFlop/s':>9} {'% peak':>7} "
+              f"{'MB moved':>9} {'loads':>6} {'evicts':>7} {'balance':>8}")
+    print(header)
+    print("-" * len(header))
+    for name in ["eager", "dmdar", "darts+luf"]:
+        scheduler, eviction = make_scheduler(name)
+        result = simulate(graph, platform, scheduler, eviction=eviction,
+                          seed=42)
+        print(f"{result.scheduler:>12} {result.gflops:9.0f} "
+              f"{100 * result.gflops / roofline:6.1f}% "
+              f"{result.total_mb:9.0f} {result.total_loads:6d} "
+              f"{result.total_evictions:7d} {result.balance_ratio():8.2f}")
+
+    print("\nDARTS+LUF sustains near-roofline throughput by loading the "
+          "data that frees the most tasks\nand evicting the data least "
+          "used by upcoming work — the paper's core result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""repro — Memory-aware scheduling of tasks sharing data on multiple GPUs.
+
+A from-scratch Python reproduction of Gonthier, Marchal & Thibault,
+"Memory-Aware Scheduling of Tasks Sharing Data on Multiple GPUs with
+Dynamic Runtime Systems" (IPDPS 2022): a StarPU-like simulated runtime,
+a shared-bus multi-GPU platform model, all five scheduling strategies of
+the paper (EAGER, DMDA/DMDAR, mHFP, hMETIS+R, DARTS±LUF and variants),
+a from-scratch multilevel hypergraph partitioner, the four application
+scenarios, and the benchmark harness regenerating every figure.
+
+Quickstart::
+
+    from repro import matmul2d, tesla_v100_node, make_scheduler, simulate
+
+    graph = matmul2d(20)                       # 400 tasks, 40 data blocks
+    platform = tesla_v100_node(n_gpus=2)       # 500 MB per GPU, shared PCIe
+    sched, eviction = make_scheduler("darts+luf")
+    result = simulate(graph, platform, sched, eviction=eviction)
+    print(result.summary())
+"""
+
+from repro.core import (
+    Data,
+    Schedule,
+    Task,
+    TaskGraph,
+    belady_loads,
+    compulsory_loads,
+    replay_schedule,
+)
+from repro.platform import (
+    BusSpec,
+    GpuSpec,
+    PlatformSpec,
+    data_items_per_memory,
+    tesla_v100_node,
+)
+from repro.simulator import RunResult, simulate
+from repro.schedulers import (
+    Darts,
+    Dmda,
+    Dmdar,
+    Eager,
+    FixedSchedule,
+    HmetisR,
+    Mhfp,
+    Scheduler,
+    make_scheduler,
+)
+from repro.workloads import (
+    cholesky_tasks,
+    matmul2d,
+    matmul3d,
+    random_bipartite,
+    sparse_matmul2d,
+)
+from repro.dag import CycleError, DependencySet, cholesky_dag
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Data",
+    "Task",
+    "TaskGraph",
+    "Schedule",
+    "replay_schedule",
+    "belady_loads",
+    "compulsory_loads",
+    "GpuSpec",
+    "BusSpec",
+    "PlatformSpec",
+    "tesla_v100_node",
+    "data_items_per_memory",
+    "simulate",
+    "RunResult",
+    "Scheduler",
+    "Eager",
+    "Dmda",
+    "Dmdar",
+    "Mhfp",
+    "HmetisR",
+    "Darts",
+    "FixedSchedule",
+    "make_scheduler",
+    "matmul2d",
+    "matmul3d",
+    "cholesky_tasks",
+    "sparse_matmul2d",
+    "random_bipartite",
+    "DependencySet",
+    "CycleError",
+    "cholesky_dag",
+    "__version__",
+]

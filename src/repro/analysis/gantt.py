@@ -1,0 +1,48 @@
+"""Text Gantt charts of simulated runs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.timeline import gpu_busy_intervals, transfer_intervals
+from repro.simulator.trace import RunResult
+
+
+def gantt(
+    result: RunResult,
+    width: int = 100,
+    show_transfers: bool = True,
+) -> str:
+    """Render per-GPU execution (and transfer) lanes as text.
+
+    ``#`` marks executing, ``-`` marks incoming transfers, `` `` idle.
+    One compute lane (and optionally one transfer lane) per GPU.  Needs a
+    run with ``record_trace=True``.
+    """
+    if result.trace is None:
+        raise ValueError("gantt needs a run simulated with record_trace=True")
+    makespan = result.makespan
+    if makespan <= 0:
+        return "(empty run)"
+
+    def lane(intervals, ch: str) -> str:
+        cells = [" "] * width
+        for iv in intervals:
+            lo = int(iv.start / makespan * (width - 1))
+            hi = max(lo, int(iv.end / makespan * (width - 1)))
+            for c in range(lo, hi + 1):
+                cells[c] = ch
+        return "".join(cells)
+
+    lines: List[str] = [
+        f"gantt: {result.scheduler}, makespan {makespan * 1e3:.2f} ms "
+        f"('#'=compute, '-'=transfer)"
+    ]
+    for k in range(result.n_gpus):
+        busy = gpu_busy_intervals(result.trace, k)
+        lines.append(f"gpu{k} |{lane(busy, '#')}|")
+        if show_transfers:
+            xfer = transfer_intervals(result.trace, k)
+            lines.append(f"     |{lane(xfer, '-')}|")
+    lines.append(f"      0{'':{width - 10}}{makespan * 1e3:.2f} ms")
+    return "\n".join(lines)

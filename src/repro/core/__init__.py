@@ -1,0 +1,41 @@
+"""Core problem model from the paper (Section III).
+
+Bipartite task/data sharing graph, schedules with explicit eviction sets,
+live-set computation, Belady's optimal offline eviction, lower bounds,
+and a brute-force optimal solver used as a test oracle for tiny instances.
+"""
+
+from repro.core.problem import Data, Task, TaskGraph
+from repro.core.schedule import (
+    InfeasibleScheduleError,
+    ReplayResult,
+    Schedule,
+    replay_schedule,
+)
+from repro.core.belady import belady_loads, belady_victim, next_use_distance
+from repro.core.bounds import (
+    compulsory_loads,
+    pci_transfer_limit_bytes,
+    roofline_gflops,
+    time_lower_bound,
+)
+from repro.core.optimal import optimal_loads_single_gpu, optimal_schedule_multi_gpu
+
+__all__ = [
+    "Data",
+    "Task",
+    "TaskGraph",
+    "Schedule",
+    "ReplayResult",
+    "InfeasibleScheduleError",
+    "replay_schedule",
+    "belady_loads",
+    "belady_victim",
+    "next_use_distance",
+    "compulsory_loads",
+    "roofline_gflops",
+    "pci_transfer_limit_bytes",
+    "time_lower_bound",
+    "optimal_loads_single_gpu",
+    "optimal_schedule_multi_gpu",
+]

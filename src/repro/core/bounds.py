@@ -1,0 +1,99 @@
+"""Reference bounds drawn on the paper's plots.
+
+* the GFlop/s roofline (``GFlop/s max`` horizontal line of Figs 3, 5-13),
+* the PCI-bus transfer limit (black dotted curve of Figs 4 and 7): the most
+  bytes that can cross the bus during the compute-optimal makespan,
+* the compulsory-loads lower bound on Objective 2 (each distinct datum must
+  be loaded at least once on every GPU that uses it).
+
+These functions take plain scalars so that :mod:`repro.core` stays free of
+platform dependencies; :mod:`repro.platform` provides the presets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.problem import TaskGraph
+from repro.core.schedule import Schedule
+
+
+def roofline_gflops(n_gpus: int, gpu_gflops: float) -> float:
+    """Aggregate peak throughput in GFlop/s (``GFlop/s max`` line)."""
+    if n_gpus < 1:
+        raise ValueError("need at least one GPU")
+    return n_gpus * gpu_gflops
+
+
+def compute_time_lower_bound(
+    graph: TaskGraph, n_gpus: int, gpu_gflops: float
+) -> float:
+    """Seconds needed if every GPU computed at peak with zero stalls."""
+    return graph.total_flops / (roofline_gflops(n_gpus, gpu_gflops) * 1e9)
+
+
+def transfer_time_lower_bound(graph: TaskGraph, bus_bandwidth: float) -> float:
+    """Seconds the shared bus needs for the compulsory transfers.
+
+    Every distinct datum crosses the bus at least once (it starts in main
+    memory), so the working set divided by the bus bandwidth (bytes/s)
+    lower-bounds the makespan of any schedule.
+    """
+    if bus_bandwidth <= 0:
+        raise ValueError("bus bandwidth must be positive")
+    return graph.working_set_bytes / bus_bandwidth
+
+
+def time_lower_bound(
+    graph: TaskGraph, n_gpus: int, gpu_gflops: float, bus_bandwidth: float
+) -> float:
+    """Max of the compute and transfer lower bounds on the makespan."""
+    return max(
+        compute_time_lower_bound(graph, n_gpus, gpu_gflops),
+        transfer_time_lower_bound(graph, bus_bandwidth),
+    )
+
+
+def pci_transfer_limit_bytes(
+    graph: TaskGraph, n_gpus: int, gpu_gflops: float, bus_bandwidth: float
+) -> float:
+    """Paper Fig. 4's ``PCI bus limit`` curve, in bytes.
+
+    A schedule transferring more than ``T_compute × bandwidth`` bytes
+    necessarily spends longer on transfers than the optimal compute time,
+    so it cannot reach the roofline.
+    """
+    return compute_time_lower_bound(graph, n_gpus, gpu_gflops) * bus_bandwidth
+
+
+def compulsory_loads(
+    graph: TaskGraph, schedule: Optional[Schedule] = None
+) -> int:
+    """Lower bound on Objective 2 (``Σ_k #Loads_k``).
+
+    Without a schedule: every datum read by at least one task is loaded
+    at least once somewhere.  With a task partition: each GPU must load
+    every distinct datum its tasks read, which is tighter (the same
+    datum counted once per GPU using it).
+    """
+    if schedule is None:
+        return sum(1 for d in range(graph.n_data) if graph.degree(d) > 0)
+    total = 0
+    for order in schedule.order:
+        seen = set()
+        for t in order:
+            seen.update(graph.inputs_of(t))
+        total += len(seen)
+    return total
+
+
+def achieved_gflops(graph: TaskGraph, makespan_s: float) -> float:
+    """Throughput of a run: total task flops divided by the makespan."""
+    if makespan_s <= 0:
+        raise ValueError("makespan must be positive")
+    return graph.total_flops / makespan_s / 1e9
+
+
+def perfect_balance_load(n_tasks: int, n_gpus: int) -> int:
+    """Smallest achievable value of Objective 1 (``max_k nb_k``)."""
+    return -(-n_tasks // n_gpus)

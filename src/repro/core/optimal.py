@@ -1,0 +1,99 @@
+"""Brute-force optimal schedules for tiny instances.
+
+The Bi-Obj-Multi-GPU-Task-Scheduling problem is NP-complete (paper
+Theorem 1), so exhaustive search is only feasible for a handful of tasks.
+These solvers exist as *test oracles*: heuristics are validated against
+them on small instances, and the single-GPU solver also demonstrates that
+Belady's rule turns the eviction sub-problem into pure ordering.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations, product
+from typing import List, Optional, Tuple
+
+from repro.core.belady import belady_loads
+from repro.core.problem import TaskGraph
+from repro.core.schedule import Schedule
+
+#: Safety cap: 8! = 40 320 orders is the most we allow per GPU.
+MAX_BRUTE_FORCE_TASKS = 8
+
+
+def optimal_loads_single_gpu(
+    graph: TaskGraph, capacity_items: int
+) -> Tuple[int, Schedule]:
+    """Exhaustive minimum of Objective 2 on one GPU.
+
+    Tries every task permutation with Belady eviction (optimal for a fixed
+    order, per the paper) and returns ``(min_loads, best_schedule)``.
+    """
+    m = graph.n_tasks
+    if m > MAX_BRUTE_FORCE_TASKS:
+        raise ValueError(
+            f"{m} tasks is too many for brute force "
+            f"(limit {MAX_BRUTE_FORCE_TASKS})"
+        )
+    best_loads: Optional[int] = None
+    best_order: Tuple[int, ...] = tuple(range(m))
+    for order in permutations(range(m)):
+        sched = Schedule.single_gpu(list(order))
+        loads = belady_loads(graph, sched, capacity_items=capacity_items)
+        if best_loads is None or loads < best_loads:
+            best_loads, best_order = loads, order
+    assert best_loads is not None
+    return best_loads, Schedule.single_gpu(list(best_order))
+
+
+def optimal_schedule_multi_gpu(
+    graph: TaskGraph,
+    n_gpus: int,
+    capacity_items: int,
+    max_load: Optional[int] = None,
+) -> Tuple[int, Schedule]:
+    """Exhaustive minimum of Objective 2 subject to ``max_k nb_k ≤ W``.
+
+    This answers the decision problem of Definition 1 constructively for
+    tiny instances: enumerate every task-to-GPU assignment, then every
+    per-GPU order, evaluating loads with Belady eviction.  ``max_load``
+    defaults to perfectly balanced (``ceil(m / K)``).
+    """
+    m = graph.n_tasks
+    if m > 6 or n_gpus > 3:
+        raise ValueError("multi-GPU brute force limited to m<=6, K<=3")
+    if max_load is None:
+        max_load = -(-m // n_gpus)
+
+    best_loads: Optional[int] = None
+    best: Optional[Schedule] = None
+    for assign in product(range(n_gpus), repeat=m):
+        groups: List[List[int]] = [[] for _ in range(n_gpus)]
+        for t, k in enumerate(assign):
+            groups[k].append(t)
+        if max(len(g) for g in groups) > max_load:
+            continue
+        # Minimize loads independently per GPU (loads are additive).
+        total = 0
+        orders: List[List[int]] = []
+        for g in groups:
+            if not g:
+                orders.append([])
+                continue
+            best_g: Optional[int] = None
+            best_perm: Tuple[int, ...] = tuple(g)
+            for perm in permutations(g):
+                loads = belady_loads(
+                    graph,
+                    Schedule.single_gpu(list(perm)),
+                    capacity_items=capacity_items,
+                )
+                if best_g is None or loads < best_g:
+                    best_g, best_perm = loads, perm
+            assert best_g is not None
+            total += best_g
+            orders.append(list(best_perm))
+        if best_loads is None or total < best_loads:
+            best_loads = total
+            best = Schedule(order=orders)
+    assert best_loads is not None and best is not None
+    return best_loads, best

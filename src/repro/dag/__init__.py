@@ -1,0 +1,21 @@
+"""Task dependencies — the paper's main future-work direction (§VI).
+
+The paper's model deliberately restricts itself to independent tasks
+("In the long run, our objective is to consider tasks with
+dependencies").  This package adds that extension to the runtime:
+
+* :class:`DependencySet` — a DAG over the task ids of a
+  :class:`repro.core.TaskGraph` (validation, topological order, critical
+  path);
+* runtime support — ``simulate(..., dependencies=...)`` releases a task
+  only once all its predecessors completed; schedulers see only released
+  tasks (EAGER skips, Ready filters, DARTS counts only released tasks as
+  "free");
+* :func:`cholesky_dag` — the tiled Cholesky workload *with* its real
+  dependencies, the DAG the paper's §V-F strips.
+"""
+
+from repro.dag.deps import CycleError, DependencySet
+from repro.dag.workloads import cholesky_dag
+
+__all__ = ["DependencySet", "CycleError", "cholesky_dag"]

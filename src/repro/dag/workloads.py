@@ -1,0 +1,60 @@
+"""Dependent-task workloads.
+
+:func:`cholesky_dag` rebuilds the tiled Cholesky factorisation of
+:mod:`repro.workloads.cholesky` *with* its dependencies — the DAG the
+paper strips to obtain an independent task set (§V-F).  The dependency
+structure is the classic one:
+
+* ``POTRF(k)`` waits for ``SYRK(k, k')`` of every earlier step ``k' < k``
+  (updates to the diagonal tile ``A[k,k]``);
+* ``TRSM(i,k)`` waits for ``POTRF(k)`` and the ``GEMM(i,k,k')`` updates
+  of tile ``A[i,k]``;
+* ``SYRK(i,k)`` waits for ``TRSM(i,k)``;
+* ``GEMM(i,j,k)`` waits for ``TRSM(i,k)`` and ``TRSM(j,k)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.problem import TaskGraph
+from repro.dag.deps import DependencySet
+from repro.platform.calibration import CHOLESKY_TILE_BYTES, TILE_N
+from repro.workloads.cholesky import cholesky_tasks
+
+
+def cholesky_dag(
+    n: int,
+    data_size: float = CHOLESKY_TILE_BYTES,
+    tile_side: int = TILE_N,
+) -> Tuple[TaskGraph, DependencySet]:
+    """The ``n × n``-tile Cholesky task graph plus its dependency DAG.
+
+    The task set (ids, inputs, flops, submission order) is identical to
+    :func:`repro.workloads.cholesky.cholesky_tasks`, so results with and
+    without dependencies are directly comparable.
+    """
+    graph = cholesky_tasks(n, data_size=data_size, tile_side=tile_side)
+    by_name: Dict[str, int] = {t.name: t.id for t in graph.tasks}
+    deps = DependencySet(graph.n_tasks)
+
+    def edge(a: str, b: str) -> None:
+        deps.add_edge(by_name[a], by_name[b])
+
+    for k in range(n):
+        # POTRF(k) needs every SYRK(k, k') with k' < k
+        for kp in range(k):
+            edge(f"SYRK({k},{kp})", f"POTRF({k})")
+        for i in range(k + 1, n):
+            # TRSM(i,k) needs POTRF(k) and the GEMM(i,k,k') updates
+            edge(f"POTRF({k})", f"TRSM({i},{k})")
+            for kp in range(k):
+                edge(f"GEMM({i},{k},{kp})", f"TRSM({i},{k})")
+            # SYRK(i,k) needs TRSM(i,k)
+            edge(f"TRSM({i},{k})", f"SYRK({i},{k})")
+            # GEMM(i,j,k) needs TRSM(i,k) and TRSM(j,k)
+            for j in range(k + 1, i):
+                edge(f"TRSM({i},{k})", f"GEMM({i},{j},{k})")
+                edge(f"TRSM({j},{k})", f"GEMM({i},{j},{k})")
+    deps.validate(graph)
+    return graph, deps

@@ -1,0 +1,64 @@
+"""Online eviction policies for the simulated GPU memories.
+
+* :class:`LruPolicy` — StarPU's default, used by every scheduler in the
+  paper except DARTS+LUF;
+* :class:`FifoPolicy`, :class:`RandomPolicy` — ablation baselines;
+* :class:`OnlineBeladyPolicy` — Belady's rule applied to the *known*
+  remaining order of a static scheduler (offline-optimal reference);
+* :class:`LufPolicy` — the paper's Least Used in the Future policy
+  (Algorithm 6), driven by DARTS's ``plannedTasks`` and the runtime's
+  ``taskBuffer``.
+
+Policies are instantiated per GPU by :func:`make_policy`.
+"""
+
+from repro.eviction.base import EvictionPolicy
+from repro.eviction.lru import LruPolicy
+from repro.eviction.fifo import FifoPolicy
+from repro.eviction.mru import MruPolicy
+from repro.eviction.lfu import LfuPolicy
+from repro.eviction.random_policy import RandomPolicy
+from repro.eviction.belady_online import OnlineBeladyPolicy
+from repro.eviction.luf import LufPolicy
+
+_BY_NAME = {
+    "lru": LruPolicy,
+    "fifo": FifoPolicy,
+    "mru": MruPolicy,
+    "lfu": LfuPolicy,
+    "random": RandomPolicy,
+    "belady": OnlineBeladyPolicy,
+    "luf": LufPolicy,
+}
+
+POLICY_NAMES = tuple(sorted(_BY_NAME))
+
+
+def make_policy(name, gpu, view, scheduler):
+    """Build the eviction policy ``name`` for GPU ``gpu``.
+
+    ``view`` is the :class:`repro.simulator.runtime.RuntimeView`;
+    ``scheduler`` is passed so LUF can read ``planned_tasks`` and
+    OnlineBelady can read ``remaining_order``.
+    """
+    try:
+        cls = _BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown eviction policy {name!r}; expected one of {POLICY_NAMES}"
+        ) from None
+    return cls(gpu=gpu, view=view, scheduler=scheduler)
+
+
+__all__ = [
+    "EvictionPolicy",
+    "LruPolicy",
+    "FifoPolicy",
+    "MruPolicy",
+    "LfuPolicy",
+    "RandomPolicy",
+    "OnlineBeladyPolicy",
+    "LufPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+]

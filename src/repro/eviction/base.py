@@ -1,0 +1,39 @@
+"""Common base class for online eviction policies."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Set
+
+from repro.simulator.memory import EvictionPolicyProtocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.schedulers.base import Scheduler
+    from repro.simulator.runtime import RuntimeView
+
+
+class EvictionPolicy(EvictionPolicyProtocol):
+    """Per-GPU policy with access to the runtime view and the scheduler.
+
+    Subclasses override :meth:`choose_victim` plus any notification hooks
+    (:meth:`on_insert`, :meth:`on_access`, :meth:`on_evict`).  The memory
+    manager guarantees ``candidates`` is non-empty and contains only
+    present, unpinned data.
+    """
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        gpu: int,
+        view: Optional["RuntimeView"] = None,
+        scheduler: Optional["Scheduler"] = None,
+    ) -> None:
+        self.gpu = gpu
+        self.view = view
+        self.scheduler = scheduler
+
+    def choose_victim(self, candidates: Set[int]) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(gpu={self.gpu})"

@@ -1,0 +1,65 @@
+"""Belady's rule online, for schedulers whose future order is known.
+
+Only static schedulers (mHFP, hMETIS+R and fixed-schedule replays) can
+expose their remaining per-GPU order; for them this policy realises the
+offline-optimal eviction of the paper's Section III inside the simulator.
+Dynamic schedulers expose nothing, in which case the policy degrades to
+"evict anything not needed by the task buffer" with LRU ordering as the
+tiebreak — it never crashes, but it is only *optimal* with full knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.eviction.base import EvictionPolicy
+
+
+class OnlineBeladyPolicy(EvictionPolicy):
+    """Evict the candidate whose next known use is furthest in the future."""
+
+    name = "belady"
+
+    def __init__(self, gpu, view=None, scheduler=None) -> None:
+        super().__init__(gpu, view, scheduler)
+        self._stamp: Dict[int, int] = {}
+        self._clock = 0
+
+    def on_insert(self, data_id: int) -> None:
+        self._clock += 1
+        self._stamp[data_id] = self._clock
+
+    def on_access(self, data_id: int) -> None:
+        self._clock += 1
+        self._stamp[data_id] = self._clock
+
+    def on_evict(self, data_id: int) -> None:
+        self._stamp.pop(data_id, None)
+
+    def _future_tasks(self):
+        assert self.view is not None
+        future = list(self.view.task_buffer(self.gpu))
+        if self.scheduler is not None:
+            future.extend(self.scheduler.remaining_order(self.gpu))
+        return future
+
+    def choose_victim(self, candidates: Set[int]) -> int:
+        graph = self.view.graph
+        future = self._future_tasks()
+        best_d = -1
+        best_key = None
+        for d in sorted(candidates):
+            dist = None
+            for offset, t in enumerate(future):
+                if d in graph.inputs_of(t):
+                    dist = offset
+                    break
+            if dist is None:
+                # Never used again (as far as we know): ideal victim; among
+                # several, prefer the least recently used.
+                key = (2, -self._stamp.get(d, -1), 0)
+            else:
+                key = (1, dist, 0)
+            if best_key is None or key > best_key:
+                best_key, best_d = key, d
+        return best_d

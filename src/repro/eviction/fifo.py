@@ -1,0 +1,28 @@
+"""First-In First-Out eviction (ablation baseline)."""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.eviction.base import EvictionPolicy
+
+
+class FifoPolicy(EvictionPolicy):
+    """Evict the candidate that was loaded the longest ago, ignoring use."""
+
+    name = "fifo"
+
+    def __init__(self, gpu, view=None, scheduler=None) -> None:
+        super().__init__(gpu, view, scheduler)
+        self._loaded_at: Dict[int, int] = {}
+        self._clock = 0
+
+    def on_insert(self, data_id: int) -> None:
+        self._clock += 1
+        self._loaded_at[data_id] = self._clock
+
+    def on_evict(self, data_id: int) -> None:
+        self._loaded_at.pop(data_id, None)
+
+    def choose_victim(self, candidates: Set[int]) -> int:
+        return min(candidates, key=lambda d: (self._loaded_at.get(d, -1), d))

@@ -1,0 +1,45 @@
+"""Least Frequently Used eviction (ablation baseline).
+
+Counts accesses since load; evicts the least-used candidate (ties by
+least recent).  Frequency is a decent proxy for the remaining-use counts
+that LUF reads off DARTS's plans — comparing the two quantifies what the
+scheduler's *foresight* adds over mere history.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.eviction.base import EvictionPolicy
+
+
+class LfuPolicy(EvictionPolicy):
+    """Evict the candidate with the fewest accesses since it loaded."""
+
+    name = "lfu"
+
+    def __init__(self, gpu, view=None, scheduler=None) -> None:
+        super().__init__(gpu, view, scheduler)
+        self._count: Dict[int, int] = {}
+        self._stamp: Dict[int, int] = {}
+        self._clock = 0
+
+    def on_insert(self, data_id: int) -> None:
+        self._clock += 1
+        self._count[data_id] = 0
+        self._stamp[data_id] = self._clock
+
+    def on_access(self, data_id: int) -> None:
+        self._clock += 1
+        self._count[data_id] = self._count.get(data_id, 0) + 1
+        self._stamp[data_id] = self._clock
+
+    def on_evict(self, data_id: int) -> None:
+        self._count.pop(data_id, None)
+        self._stamp.pop(data_id, None)
+
+    def choose_victim(self, candidates: Set[int]) -> int:
+        def key(d: int) -> Tuple[int, int, int]:
+            return (self._count.get(d, 0), self._stamp.get(d, -1), d)
+
+        return min(candidates, key=key)

@@ -1,0 +1,40 @@
+"""Most Recently Used eviction (ablation baseline).
+
+MRU is the classic antidote to cyclic-scan patterns that defeat LRU:
+when a working set loops over more data than fit, evicting the *most*
+recently used datum keeps the rest of the loop resident.  Included to
+show the paper's EAGER pathology is an LRU artefact, not a law.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.eviction.base import EvictionPolicy
+
+
+class MruPolicy(EvictionPolicy):
+    """Evict the candidate touched most recently."""
+
+    name = "mru"
+
+    def __init__(self, gpu, view=None, scheduler=None) -> None:
+        super().__init__(gpu, view, scheduler)
+        self._stamp: Dict[int, int] = {}
+        self._clock = 0
+
+    def _touch(self, d: int) -> None:
+        self._clock += 1
+        self._stamp[d] = self._clock
+
+    def on_insert(self, data_id: int) -> None:
+        self._touch(data_id)
+
+    def on_access(self, data_id: int) -> None:
+        self._touch(data_id)
+
+    def on_evict(self, data_id: int) -> None:
+        self._stamp.pop(data_id, None)
+
+    def choose_victim(self, candidates: Set[int]) -> int:
+        return max(candidates, key=lambda d: (self._stamp.get(d, -1), -d))

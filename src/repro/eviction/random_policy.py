@@ -1,0 +1,27 @@
+"""Uniform-random eviction (ablation baseline).
+
+Uses the runtime's seeded RNG so runs stay reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Set
+
+from repro.eviction.base import EvictionPolicy
+
+
+class RandomPolicy(EvictionPolicy):
+    """Evict a uniformly random candidate."""
+
+    name = "random"
+
+    def __init__(self, gpu, view=None, scheduler=None) -> None:
+        super().__init__(gpu, view, scheduler)
+        # Derive an independent stream per GPU from the shared seed so
+        # adding a GPU does not perturb the draws of the others.
+        base = view.rng.randrange(2**31) if view is not None else 0
+        self._rng = random.Random(f"{base}/{gpu}")
+
+    def choose_victim(self, candidates: Set[int]) -> int:
+        return self._rng.choice(sorted(candidates))

@@ -1,0 +1,19 @@
+"""Experiment harness regenerating the paper's evaluation figures.
+
+Each of the paper's Figures 3-13 has a :class:`FigureConfig` describing
+its workload, platform, scheduler set and metric; :func:`run_figure`
+executes the sweep and returns a :class:`repro.metrics.Sweep` whose
+printed table is the figure's data.  ``python -m repro.experiments fig3``
+runs one from the command line.
+"""
+
+from repro.experiments.harness import SweepSpec, run_figure, run_sweep
+from repro.experiments.figures import FIGURES, FigureConfig
+
+__all__ = [
+    "run_sweep",
+    "run_figure",
+    "SweepSpec",
+    "FIGURES",
+    "FigureConfig",
+]

@@ -1,0 +1,74 @@
+"""Command-line entry point: regenerate paper figures as text tables.
+
+Examples::
+
+    python -m repro.experiments fig3
+    python -m repro.experiments fig8 --scale paper --plot
+    python -m repro.experiments all --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.experiments.figures import FIGURES
+from repro.experiments.harness import run_figure
+from repro.metrics.report import ascii_plot, format_series_table
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the IPDPS'22 paper's evaluation figures "
+        "on the simulated platform.",
+    )
+    parser.add_argument(
+        "figure",
+        help=f"figure id ({', '.join(sorted(FIGURES))}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["small", "paper"],
+        default="small",
+        help="instance sizes: 'small' runs in minutes, 'paper' is closer "
+        "to the paper's sweep (slower)",
+    )
+    parser.add_argument(
+        "--plot", action="store_true", help="also print an ASCII plot"
+    )
+    parser.add_argument(
+        "--points",
+        type=int,
+        default=None,
+        help="only run the first N working-set points of the sweep",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print points as they finish"
+    )
+    args = parser.parse_args(argv)
+
+    figure_ids = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for fid in figure_ids:
+        if fid not in FIGURES:
+            print(f"unknown figure {fid!r}; known: {sorted(FIGURES)}")
+            return 2
+        config = FIGURES[fid]
+        print(f"== {fid}: {config.title} ==")
+        if config.notes:
+            print(f"   {config.notes}")
+        t0 = time.time()
+        sweep = run_figure(
+            fid, scale=args.scale, verbose=args.verbose, points=args.points
+        )
+        print(format_series_table(sweep, metric=config.metric))
+        if args.plot:
+            print(ascii_plot(sweep, metric=config.metric))
+        print(f"   [{time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Sweep driver: run a scheduler set across instance sizes.
+
+Mirrors the paper's methodology (§V-A): for each working-set size, run
+every strategy on the same instance and record throughput and transfer
+volume; reference lines give the aggregate roofline and, for transfer
+plots, the PCI-bus limit curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.bounds import pci_transfer_limit_bytes, roofline_gflops
+from repro.core.problem import TaskGraph
+from repro.metrics.collect import Measurement, Sweep
+from repro.platform.spec import PlatformSpec
+from repro.schedulers.registry import make_scheduler
+from repro.simulator.runtime import simulate
+
+
+@dataclass
+class SweepSpec:
+    """Everything needed to regenerate one figure's data."""
+
+    title: str
+    workload: Callable[[int], TaskGraph]
+    ns: Sequence[int]
+    platform: Callable[[], PlatformSpec]
+    schedulers: Sequence[str]
+    #: scheduler names additionally reported without scheduling time,
+    #: e.g. ``["hmetis+r"]`` produces an extra "… no part. time" series
+    no_sched_time_variants: Sequence[str] = ()
+    window: int = 2
+    seed: int = 0
+    #: DARTS threshold applied when a scheduler name carries +threshold
+    threshold: Optional[int] = None
+    repetitions: int = 1
+
+
+def run_sweep(spec: SweepSpec, verbose: bool = False) -> Sweep:
+    """Execute the sweep and collect all series."""
+    platform = spec.platform()
+    sweep = Sweep(title=spec.title)
+    sweep.reference_lines["GFlop/s max"] = roofline_gflops(
+        platform.n_gpus, platform.gpus[0].gflops
+    )
+    pci_curve: List[float] = []
+
+    for n in spec.ns:
+        graph = spec.workload(n)
+        ws_mb = graph.working_set_bytes / 1e6
+        pci_curve.append(
+            pci_transfer_limit_bytes(
+                graph,
+                platform.n_gpus,
+                platform.gpus[0].gflops,
+                platform.bus.bandwidth,
+            )
+            / 1e6
+        )
+        for name in spec.schedulers:
+            measurements = []
+            is_thresh = name.strip().lower().endswith("+threshold")
+            for rep in range(max(1, spec.repetitions)):
+                sched, eviction = make_scheduler(
+                    name, threshold=spec.threshold if is_thresh else None
+                )
+                result = simulate(
+                    graph,
+                    platform,
+                    sched,
+                    eviction=eviction,
+                    window=spec.window,
+                    seed=spec.seed + rep,
+                )
+                measurements.append(
+                    Measurement.from_result(result, n=n, working_set_mb=ws_mb)
+                )
+            m = _average(measurements)
+            sweep.add(m)
+            if verbose:
+                print(
+                    f"  n={n:4d} ws={ws_mb:7.0f}MB {m.scheduler:>24s} "
+                    f"{m.gflops:9.0f} GF/s  {m.transfers_mb:9.0f} MB"
+                )
+            canon = name.strip().lower().replace(" ", "")
+            if canon in {
+                s.strip().lower().replace(" ", "")
+                for s in spec.no_sched_time_variants
+            }:
+                # The paper plots these twice: with the static phase's
+                # wall-clock charged, and without ("no part. time").
+                pure = Measurement(
+                    scheduler=f"{m.scheduler} no sched. time",
+                    n=m.n,
+                    working_set_mb=m.working_set_mb,
+                    gflops=m.gflops,
+                    gflops_with_sched=m.gflops,
+                    transfers_mb=m.transfers_mb,
+                    loads=m.loads,
+                    evictions=m.evictions,
+                    makespan_s=m.makespan_s,
+                    scheduling_time_s=0.0,
+                    balance=m.balance,
+                )
+                sweep.add(pure)
+    sweep.reference_curves["PCI bus limit (MB)"] = pci_curve
+    return sweep
+
+
+def _average(ms: List[Measurement]) -> Measurement:
+    """Mean across repetitions (the paper averages 10 iterations)."""
+    if len(ms) == 1:
+        return ms[0]
+    k = len(ms)
+    return Measurement(
+        scheduler=ms[0].scheduler,
+        n=ms[0].n,
+        working_set_mb=ms[0].working_set_mb,
+        gflops=sum(m.gflops for m in ms) / k,
+        gflops_with_sched=sum(m.gflops_with_sched for m in ms) / k,
+        transfers_mb=sum(m.transfers_mb for m in ms) / k,
+        loads=round(sum(m.loads for m in ms) / k),
+        evictions=round(sum(m.evictions for m in ms) / k),
+        makespan_s=sum(m.makespan_s for m in ms) / k,
+        scheduling_time_s=sum(m.scheduling_time_s for m in ms) / k,
+        balance=sum(m.balance for m in ms) / k,
+    )
+
+
+def run_figure(
+    figure_id: str,
+    scale: str = "small",
+    verbose: bool = False,
+    points: Optional[int] = None,
+) -> Sweep:
+    """Regenerate a paper figure by id (``"fig3"`` … ``"fig13"``).
+
+    ``points`` truncates the sweep to its first N working-set sizes.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.figures import FIGURES
+
+    try:
+        config = FIGURES[figure_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure {figure_id!r}; known: {sorted(FIGURES)}"
+        ) from None
+    spec = config.spec(scale)
+    if points is not None:
+        spec = replace(spec, ns=spec.ns[: max(1, points)])
+    return run_sweep(spec, verbose=verbose)

@@ -1,0 +1,12 @@
+"""Measurement containers and report formatting for experiment sweeps."""
+
+from repro.metrics.collect import Measurement, Series, Sweep
+from repro.metrics.report import ascii_plot, format_series_table
+
+__all__ = [
+    "Measurement",
+    "Series",
+    "Sweep",
+    "format_series_table",
+    "ascii_plot",
+]

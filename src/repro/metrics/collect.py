@@ -1,0 +1,114 @@
+"""Sweep measurement containers.
+
+A :class:`Sweep` holds, for each x-axis point (working set size) and each
+scheduler, one :class:`Measurement` distilled from a
+:class:`repro.simulator.trace.RunResult` — the quantities the paper plots
+(GFlop/s with and without scheduling time, transferred MB) plus
+diagnostics (loads, evictions, balance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.simulator.trace import RunResult
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One (scheduler, instance) data point."""
+
+    scheduler: str
+    n: int
+    working_set_mb: float
+    gflops: float
+    gflops_with_sched: float
+    transfers_mb: float
+    loads: int
+    evictions: int
+    makespan_s: float
+    scheduling_time_s: float
+    balance: float
+
+    @classmethod
+    def from_result(
+        cls, result: RunResult, n: int, working_set_mb: float
+    ) -> "Measurement":
+        return cls(
+            scheduler=result.scheduler,
+            n=n,
+            working_set_mb=working_set_mb,
+            gflops=result.gflops,
+            gflops_with_sched=result.gflops_with_scheduling,
+            transfers_mb=result.total_mb,
+            loads=result.total_loads,
+            evictions=result.total_evictions,
+            makespan_s=result.makespan,
+            scheduling_time_s=result.scheduling_time,
+            balance=result.balance_ratio(),
+        )
+
+    def metric(self, name: str) -> float:
+        """Look a metric up by the names used in figure configs."""
+        if name == "gflops":
+            return self.gflops
+        if name == "gflops_with_sched":
+            return self.gflops_with_sched
+        if name == "transfers_mb":
+            return self.transfers_mb
+        if name == "loads":
+            return float(self.loads)
+        raise ValueError(f"unknown metric {name!r}")
+
+
+@dataclass
+class Series:
+    """One scheduler's curve over the sweep."""
+
+    scheduler: str
+    points: List[Measurement] = field(default_factory=list)
+
+    def xs(self) -> List[float]:
+        return [p.working_set_mb for p in self.points]
+
+    def values(self, metric: str) -> List[float]:
+        return [p.metric(metric) for p in self.points]
+
+    def mean(self, metric: str) -> float:
+        vals = self.values(metric)
+        return sum(vals) / len(vals) if vals else 0.0
+
+
+@dataclass
+class Sweep:
+    """All curves of one figure."""
+
+    title: str
+    series: Dict[str, Series] = field(default_factory=dict)
+    reference_lines: Dict[str, float] = field(default_factory=dict)
+    reference_curves: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, m: Measurement) -> None:
+        self.series.setdefault(m.scheduler, Series(m.scheduler)).points.append(m)
+
+    def schedulers(self) -> List[str]:
+        return list(self.series)
+
+    def gain(
+        self, metric: str, a: str, b: str, last_k: Optional[int] = None
+    ) -> float:
+        """Average ratio ``a / b`` of a metric across the sweep.
+
+        ``last_k`` restricts the average to the most constrained points
+        (the tail of the sweep), mirroring how the paper quotes e.g.
+        "DARTS+LUF achieves 8.5 % more GFlop/s than DMDAR".
+        """
+        sa = self.series[a].values(metric)
+        sb = self.series[b].values(metric)
+        if len(sa) != len(sb) or not sa:
+            raise ValueError("series are not aligned")
+        if last_k is not None:
+            sa, sb = sa[-last_k:], sb[-last_k:]
+        ratios = [x / y for x, y in zip(sa, sb) if y > 0]
+        return sum(ratios) / len(ratios)

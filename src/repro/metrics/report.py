@@ -1,0 +1,94 @@
+"""Plain-text rendering of sweeps: aligned tables and ASCII plots."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.metrics.collect import Sweep
+
+
+def format_series_table(
+    sweep: Sweep, metric: str = "gflops", width: int = 12
+) -> str:
+    """One row per working-set point, one column per scheduler.
+
+    This is the textual equivalent of the paper's figures: the same
+    series, printed.  Reference lines (roofline, PCI limit) are appended.
+    """
+    scheds = sweep.schedulers()
+    if not scheds:
+        return f"{sweep.title}: (empty sweep)"
+    xs = sweep.series[scheds[0]].xs()
+    header = f"{'WS(MB)':>10} " + " ".join(f"{s:>{width}}" for s in scheds)
+    lines = [sweep.title, header, "-" * len(header)]
+    for i, x in enumerate(xs):
+        cells = []
+        for s in scheds:
+            pts = sweep.series[s].points
+            cells.append(
+                f"{pts[i].metric(metric):>{width}.1f}"
+                if i < len(pts)
+                else " " * width
+            )
+        lines.append(f"{x:>10.0f} " + " ".join(cells))
+    for name, value in sweep.reference_lines.items():
+        lines.append(f"{'ref':>10} {name} = {value:.1f}")
+    for name, values in sweep.reference_curves.items():
+        formatted = " ".join(f"{v:.0f}" for v in values)
+        lines.append(f"{'ref':>10} {name}: {formatted}")
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    sweep: Sweep,
+    metric: str = "gflops",
+    height: int = 16,
+    width: int = 70,
+) -> str:
+    """Rough terminal plot of every series (one symbol per scheduler)."""
+    scheds = sweep.schedulers()
+    if not scheds:
+        return "(empty sweep)"
+    symbols = "ox+*#@%&$~"
+    all_x: List[float] = []
+    all_y: List[float] = []
+    for s in scheds:
+        all_x.extend(sweep.series[s].xs())
+        all_y.extend(sweep.series[s].values(metric))
+    for v in sweep.reference_lines.values():
+        all_y.append(v)
+    if not all_x:
+        return "(no points)"
+    x0, x1 = min(all_x), max(all_x)
+    y0, y1 = 0.0, max(all_y) * 1.05 or 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(x: float, y: float, ch: str) -> None:
+        if x1 == x0:
+            col = 0
+        else:
+            col = int((x - x0) / (x1 - x0) * (width - 1))
+        row = height - 1 - int((y - y0) / (y1 - y0) * (height - 1))
+        row = min(max(row, 0), height - 1)
+        grid[row][col] = ch
+
+    for value in sweep.reference_lines.values():
+        row = height - 1 - int((value - y0) / (y1 - y0) * (height - 1))
+        row = min(max(row, 0), height - 1)
+        for c in range(width):
+            grid[row][c] = "."
+    for idx, s in enumerate(scheds):
+        ch = symbols[idx % len(symbols)]
+        for x, y in zip(sweep.series[s].xs(), sweep.series[s].values(metric)):
+            put(x, y, ch)
+
+    lines = [f"{sweep.title}  [{metric}]"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" x: {x0:.0f} .. {x1:.0f} MB   y: 0 .. {y1:.0f}")
+    legend = "   ".join(
+        f"{symbols[i % len(symbols)]}={s}" for i, s in enumerate(scheds)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""From-scratch multilevel hypergraph partitioner (hMETIS substitute).
+
+The paper calls hMETIS to split the task set into K balanced parts while
+minimising the data shared *across* parts (each datum is a hyperedge over
+the tasks reading it — §IV-B).  hMETIS is closed-source and unavailable
+here, so this package implements the same algorithmic family:
+
+* :mod:`repro.partitioning.hypergraph` — pin-list hypergraph structure;
+* :mod:`repro.partitioning.coarsen` — heavy-edge matching coarsening;
+* :mod:`repro.partitioning.fm` — Fiduccia–Mattheyses bisection refinement
+  under a balance constraint (the UBfactor of hMETIS);
+* :mod:`repro.partitioning.bisection` — multilevel V-cycle bisection with
+  random restarts (hMETIS's Nruns) and recursive K-way driver;
+* :mod:`repro.partitioning.graphpart` — the METIS-style clique-expansion
+  baseline whose triple-counting weakness the paper describes.
+"""
+
+from repro.partitioning.hypergraph import Hypergraph
+from repro.partitioning.bisection import multilevel_bisect, partition_kway
+from repro.partitioning.fm import bisection_cut, fm_refine
+from repro.partitioning.graphpart import clique_graph_partition
+from repro.partitioning.interface import (
+    PartitionResult,
+    cut_weight,
+    partition_tasks,
+)
+
+__all__ = [
+    "Hypergraph",
+    "multilevel_bisect",
+    "partition_kway",
+    "fm_refine",
+    "bisection_cut",
+    "clique_graph_partition",
+    "partition_tasks",
+    "PartitionResult",
+    "cut_weight",
+]

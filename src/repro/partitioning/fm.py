@@ -1,0 +1,162 @@
+"""Fiduccia–Mattheyses bisection refinement.
+
+Classic single-vertex-move refinement with per-pass rollback: vertices
+move one at a time (each at most once per pass) in best-gain-first order
+subject to a balance constraint; at the end of the pass the prefix with
+the best cumulative gain is kept.  Gains are maintained incrementally
+from per-net side counts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple
+
+from repro.partitioning.hypergraph import Hypergraph
+
+
+def bisection_cut(h: Hypergraph, side: Sequence[int]) -> float:
+    """Total weight of nets spanning both sides."""
+    cut = 0.0
+    for e, pins in enumerate(h.nets):
+        s0 = side[pins[0]]
+        if any(side[v] != s0 for v in pins[1:]):
+            cut += h.nwgt[e]
+    return cut
+
+
+def _net_counts(h: Hypergraph, side: Sequence[int]) -> Tuple[List[int], List[int]]:
+    c0 = [0] * h.n_nets
+    c1 = [0] * h.n_nets
+    for e, pins in enumerate(h.nets):
+        for v in pins:
+            if side[v] == 0:
+                c0[e] += 1
+            else:
+                c1[e] += 1
+    return c0, c1
+
+
+def _gain(h: Hypergraph, side: Sequence[int], c0, c1, v: int) -> float:
+    """Cut reduction if ``v`` moves to the other side."""
+    g = 0.0
+    s = side[v]
+    for e in h.pins_of[v]:
+        here = c0[e] if s == 0 else c1[e]
+        there = c1[e] if s == 0 else c0[e]
+        if here == 1:
+            g += h.nwgt[e]  # net becomes uncut
+        if there == 0:
+            g -= h.nwgt[e]  # net becomes cut
+    return g
+
+
+def fm_refine(
+    h: Hypergraph,
+    side: List[int],
+    target0: float,
+    tolerance: float,
+    max_passes: int = 8,
+) -> List[int]:
+    """Refine ``side`` in place-ish; returns the refined assignment.
+
+    ``target0`` is the desired total vertex weight of side 0 and
+    ``tolerance`` the allowed absolute deviation (hMETIS's UBfactor
+    translated to weight units).  A move is admissible if it keeps side 0
+    within ``target0 ± tolerance`` **or** strictly reduces the imbalance —
+    so an infeasible initial assignment is repaired rather than frozen.
+    """
+    side = list(side)
+    for _ in range(max_passes):
+        improved, side = _fm_pass(h, side, target0, tolerance)
+        if not improved:
+            break
+    return side
+
+
+def _fm_pass(
+    h: Hypergraph, side: List[int], target0: float, tolerance: float
+) -> Tuple[bool, List[int]]:
+    c0, c1 = _net_counts(h, side)
+    w0 = sum(h.vwgt[v] for v in range(h.n) if side[v] == 0)
+    locked = [False] * h.n
+    version = [0] * h.n
+
+    heap: List[Tuple[float, int, int]] = []  # (-gain, v, version)
+    for v in range(h.n):
+        heapq.heappush(heap, (-_gain(h, side, c0, c1, v), v, 0))
+
+    moves: List[int] = []
+    cum = 0.0
+
+    def feasible(weight0: float) -> bool:
+        return abs(weight0 - target0) <= tolerance
+
+    # Best prefix is chosen by (feasibility, cumulative gain): a pass
+    # starting from an unbalanced assignment must keep the moves that
+    # restore balance even when their cut gain is negative.
+    start_key = (feasible(w0), 0.0)
+    best_key = start_key
+    best_len = 0
+
+    def admissible(v: int) -> bool:
+        delta = -h.vwgt[v] if side[v] == 0 else h.vwgt[v]
+        new_w0 = w0 + delta
+        if abs(new_w0 - target0) <= tolerance:
+            return True
+        return abs(new_w0 - target0) < abs(w0 - target0)
+
+    deferred: List[Tuple[float, int, int]] = []
+    while heap or deferred:
+        if not heap:
+            # Everything left was inadmissible; no further moves possible.
+            break
+        neg_g, v, ver = heapq.heappop(heap)
+        if locked[v] or version[v] != ver:
+            continue
+        if not admissible(v):
+            deferred.append((neg_g, v, ver))
+            # If nothing admissible remains on the heap we will exit via
+            # the empty-heap check; otherwise keep popping.
+            continue
+        # apply the move
+        g = -neg_g
+        s = side[v]
+        side[v] = 1 - s
+        w0 += -h.vwgt[v] if s == 0 else h.vwgt[v]
+        locked[v] = True
+        for e in h.pins_of[v]:
+            if s == 0:
+                c0[e] -= 1
+                c1[e] += 1
+            else:
+                c1[e] -= 1
+                c0[e] += 1
+        cum += g
+        moves.append(v)
+        key = (feasible(w0), cum)
+        if key > (best_key[0], best_key[1] + 1e-12):
+            best_key = key
+            best_len = len(moves)
+        # refresh gains of unlocked neighbours of v's nets
+        touched = set()
+        for e in h.pins_of[v]:
+            for u in h.nets[e]:
+                if not locked[u]:
+                    touched.add(u)
+        for u in touched:
+            version[u] += 1
+            heapq.heappush(
+                heap, (-_gain(h, side, c0, c1, u), u, version[u])
+            )
+        # previously deferred vertices may have become admissible
+        if deferred:
+            for item in deferred:
+                heapq.heappush(heap, item)
+            deferred.clear()
+
+    # roll back to the best prefix
+    for v in moves[best_len:]:
+        side[v] = 1 - side[v]
+    improved = best_key[0] > start_key[0] or best_key[1] > 1e-12
+    return improved, side

@@ -1,0 +1,36 @@
+"""Platform model: GPUs with private memory behind a shared PCIe bus.
+
+Mirrors the paper's Figure 2 topology — ``K`` GPUs, each with a bounded
+memory, all fetching input data from the host main memory over one shared
+bus.  Presets reproduce the evaluation platform (Tesla V100 nodes with the
+GPU memory artificially limited to 500 MB).
+"""
+
+from repro.platform.spec import BusSpec, GpuSpec, PlatformSpec, tesla_v100_node
+from repro.platform.calibration import (
+    DATA_SIZE_BYTES,
+    DEFAULT_GPU_MEMORY_BYTES,
+    PCIE_BANDWIDTH_BYTES_PER_S,
+    TASK_FLOPS_GEMM,
+    TILE_N,
+    V100_GEMM_GFLOPS,
+    data_items_per_memory,
+    task_duration_s,
+    transfer_duration_s,
+)
+
+__all__ = [
+    "GpuSpec",
+    "BusSpec",
+    "PlatformSpec",
+    "tesla_v100_node",
+    "TILE_N",
+    "DATA_SIZE_BYTES",
+    "TASK_FLOPS_GEMM",
+    "V100_GEMM_GFLOPS",
+    "PCIE_BANDWIDTH_BYTES_PER_S",
+    "DEFAULT_GPU_MEMORY_BYTES",
+    "data_items_per_memory",
+    "task_duration_s",
+    "transfer_duration_s",
+]

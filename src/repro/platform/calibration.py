@@ -1,0 +1,94 @@
+"""Calibration constants matching the paper's evaluation setup.
+
+The paper runs cuBLAS SGEMM on 960×960 single-precision tiles on Tesla
+V100 GPUs, reports a per-GPU GEMM roofline of 13 253 GFlop/s, limits GPU
+memory to 500 MB, and sweeps 2D-matmul instances from 5×5 to 300×300 tasks
+described as working sets of 140 MB to 8 400 MB.
+
+Those working-set figures pin down the data granularity: a 2D instance of
+``N×N`` tasks has ``2N`` input data (block-rows of A, block-columns of B),
+and ``140 MB / (2·5) = 14 MB`` per datum — i.e. each block-row of A is
+``960 × 3840`` fp32 elements (a strip of four 960² cuBLAS tiles),
+≈ 14.75 MB.  Task ``C[i,j]`` multiplies block-row ``A[i]`` (960×3840) by
+block-column ``B[j]`` (3840×960): ``2·960²·3840 ≈ 7.08 GFlop``, about
+0.53 ms at the roofline — while fetching one block over a 16 GB/s PCIe
+bus takes ≈ 0.93 ms.  Transfers cost ~1.7× compute, so any scheduler
+that degenerates to one load per task is bus-bound at roughly
+``13253 × 0.53/0.93 ≈ 7.6 TFlop/s`` — exactly EAGER's collapsed plateau
+in the paper's Fig. 3 — and reaching the roofline requires ≲ 0.58 loads
+per task on average, which is what good data reuse buys.
+"""
+
+from __future__ import annotations
+
+#: Short side of one data block (one cuBLAS tile), in matrix elements.
+TILE_N: int = 960
+
+#: Long side of one data block (four cuBLAS tiles).
+BLOCK_LONG: int = 3840
+
+#: Bytes per element (single precision).
+BYTES_PER_ELEMENT: int = 4
+
+#: Size of one input datum in bytes (960 × 3840 fp32 ≈ 14.75 MB).
+DATA_SIZE_BYTES: float = float(TILE_N * BLOCK_LONG * BYTES_PER_ELEMENT)
+
+#: Flops of one task: a 960² C-tile from a 960×3840 by 3840×960 product.
+TASK_FLOPS_GEMM: float = 2.0 * TILE_N * TILE_N * BLOCK_LONG
+
+#: Side of a *square* block with the same byte size (used by the 3D
+#: matmul scenario, where all three matrices are tiled squarely).
+BLOCK_SQUARE: int = 1920
+
+#: Flops of one square-block product ``A[i,k] × B[k,j]`` (``2 b³``).
+TASK_FLOPS_SQUARE: float = 2.0 * BLOCK_SQUARE**3
+
+#: One square Cholesky tile (960² fp32 ≈ 3.69 MB) and its kernel costs.
+CHOLESKY_TILE_BYTES: float = float(TILE_N * TILE_N * BYTES_PER_ELEMENT)
+
+#: Per-GPU SGEMM roofline measured in the paper (GFlop/s).
+V100_GEMM_GFLOPS: float = 13_253.0
+
+#: Shared PCIe bus bandwidth (bytes/s); PCIe 3.0 x16 class.
+PCIE_BANDWIDTH_BYTES_PER_S: float = 16e9
+
+#: Per-transfer latency on the bus (seconds).  Small but non-zero, so
+#: many tiny transfers are worse than one large one.
+PCIE_LATENCY_S: float = 10e-6
+
+#: GPU memory bound used in most experiments (bytes): 500 MB (MB = 1e6 B).
+DEFAULT_GPU_MEMORY_BYTES: float = 500e6
+
+#: Memory used in the "no memory limit" experiment (Fig. 13): 32 GB.
+UNLIMITED_GPU_MEMORY_BYTES: float = 32e9
+
+
+def data_items_per_memory(
+    memory_bytes: float = DEFAULT_GPU_MEMORY_BYTES,
+    data_size: float = DATA_SIZE_BYTES,
+) -> int:
+    """The paper's ``M``: how many equal-size data fit in GPU memory.
+
+    500 MB holds 33 blocks of 14.75 MB.
+    """
+    return int(memory_bytes // data_size)
+
+
+def task_duration_s(
+    flops: float = TASK_FLOPS_GEMM, gflops: float = V100_GEMM_GFLOPS
+) -> float:
+    """Execution time of a task on one GPU at the given roofline."""
+    if gflops <= 0:
+        raise ValueError("gflops must be positive")
+    return flops / (gflops * 1e9)
+
+
+def transfer_duration_s(
+    size_bytes: float = DATA_SIZE_BYTES,
+    bandwidth: float = PCIE_BANDWIDTH_BYTES_PER_S,
+    latency: float = PCIE_LATENCY_S,
+) -> float:
+    """Time to move one datum over an uncontended bus."""
+    if bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    return latency + size_bytes / bandwidth

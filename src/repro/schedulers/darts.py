@@ -1,0 +1,273 @@
+"""DARTS — Data-Aware Reactive Task Scheduling (paper Algorithm 5).
+
+Fully dynamic strategy that considers *data movement before task
+allocation*.  When GPU ``k`` asks for work and its reservation list
+``plannedTasks_k`` is empty, DARTS scans ``dataNotInMem_k`` for the datum
+``D`` that, if loaded, unlocks the most **free tasks** — tasks whose
+other inputs are all already on the GPU.  All those tasks are reserved
+for the GPU; the datum with the highest remaining use count wins ties
+(broken randomly so different GPUs rarely chase the same data).
+
+If no single datum unlocks a task (e.g. at start-up when every task needs
+two absent inputs), the base algorithm picks a random unprocessed task;
+the **3inputs** variant instead looks for a datum unlocking tasks at one
+*additional* load's distance — decisive for the 3D matmul and Cholesky
+scenarios with ≥ 3 inputs per task.
+
+Variants controlling scheduling cost (paper §V-E/F):
+
+* **OPTI** — stop the scan at the first datum unlocking ≥ 1 task;
+* **threshold** — scan at most ``threshold`` candidate data per refill.
+
+Eviction coupling (Algorithm 6, line 8): when the LUF policy — or any
+other — evicts ``V`` from GPU ``k``, planned tasks depending on ``V`` are
+un-reserved (returned to the common pool) and ``V`` returns to
+``dataNotInMem_k``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Set
+
+from repro.schedulers.base import Scheduler
+
+
+class Darts(Scheduler):
+    """Algorithm 5, with the paper's variants as constructor flags."""
+
+    def __init__(
+        self,
+        three_inputs: bool = False,
+        opti: bool = False,
+        threshold: Optional[int] = None,
+        threshold_activation_ratio: float = 1.75,
+    ) -> None:
+        super().__init__()
+        if threshold is not None and threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.three_inputs = three_inputs
+        self.opti = opti
+        self.threshold = threshold
+        #: the paper enables the threshold "for working sets larger than
+        #: 3 500 MB only" on a 4×500 MB node — i.e. beyond 1.75× the
+        #: cumulated GPU memory; we keep that rule scale-free.
+        self.threshold_activation_ratio = threshold_activation_ratio
+        self.name = "DARTS"
+        if opti:
+            self.name += "+OPTI"
+        if three_inputs:
+            self.name += "-3inputs"
+        if threshold is not None:
+            self.name += "+threshold"
+
+    # ------------------------------------------------------------------
+    def prepare(self, view) -> None:
+        super().prepare(view)
+        graph = view.graph
+        self._rng = view.rng
+        #: tasks not yet reserved by any GPU nor executed
+        self._unowned: Set[int] = set(range(graph.n_tasks))
+        #: remaining unprocessed tasks using each datum (tie-break metric)
+        self._remaining_users: List[int] = [
+            graph.degree(d) for d in range(graph.n_data)
+        ]
+        self._planned: List[Deque[int]] = [
+            deque() for _ in range(view.n_gpus)
+        ]
+        self._data_not_in_mem: List[Set[int]] = [
+            set(range(graph.n_data)) for _ in range(view.n_gpus)
+        ]
+        self._executed: Set[int] = set()
+        total_memory = sum(g.memory_bytes for g in view.platform.gpus)
+        self._threshold_active = (
+            self.threshold is not None
+            and graph.working_set_bytes
+            > self.threshold_activation_ratio * total_memory
+        )
+
+    # ------------------------------------------------------------------
+    # Algorithm 5
+    # ------------------------------------------------------------------
+    def next_task(self, gpu: int) -> Optional[int]:
+        planned = self._planned[gpu]
+        if planned:
+            self.charge_ops(1)
+            return planned.popleft()
+        if not self._unowned:
+            return None
+        return self._refill(gpu)
+
+    def _refill(self, gpu: int) -> Optional[int]:
+        graph = self.view.graph
+        inmem = self.view.held(gpu)
+        planned = self._planned[gpu]
+        threshold = self.threshold if self._threshold_active else None
+
+        n_max = 0
+        candidates: List[int] = []
+        scanned = 0
+        # Iterate a sorted copy: deterministic under a fixed seed, and the
+        # set is mutated on selection.  The full scan is order-blind (it
+        # takes the max, ties broken randomly), but the early-exit modes
+        # are order-*sensitive*: visit data with the most remaining
+        # unprocessed users first, so the first hit is usually a good
+        # one (cheap to order, and what makes OPTI "close to optimal").
+        scan_order = sorted(self._data_not_in_mem[gpu])
+        if self.opti or threshold is not None:
+            scan_order.sort(key=lambda d: -self._remaining_users[d])
+        for d in scan_order:
+            if d in inmem:
+                continue  # stale entry; loads are synced lazily
+            scanned += 1
+            self.charge_ops(len(graph.users_of(d)))
+            n_d = self._count_free_tasks(d, inmem)
+            if n_d > n_max:
+                n_max = n_d
+                candidates = [d]
+                if self.opti:
+                    break
+            elif n_d == n_max and n_d > 0:
+                candidates.append(d)
+            if threshold is not None and scanned >= threshold:
+                break
+
+        if n_max > 0:
+            d_opt = self._select_candidate(candidates)
+            self.charge_ops(len(graph.users_of(d_opt)))
+            free = self._free_tasks(d_opt, inmem)
+            for t in free:
+                self._unowned.discard(t)
+                planned.append(t)
+            self._data_not_in_mem[gpu].discard(d_opt)
+            return planned.popleft()
+
+        # No datum unlocks a task with a single load.
+        if self.three_inputs:
+            self.charge_ops(len(self._unowned))
+            task = self._best_two_load_task(gpu, inmem)
+            if task is not None:
+                self._take(gpu, task)
+                return task
+        self.charge_ops(1)
+        task = self._random_unowned()
+        if task is None:
+            return None
+        self._take(gpu, task)
+        return task
+
+    def _count_free_tasks(self, d: int, inmem: Set[int]) -> int:
+        """``n(D)``: unowned tasks whose only absent input is ``d``."""
+        graph = self.view.graph
+        n = 0
+        for t in graph.users_of(d):
+            if t not in self._unowned or not self.view.is_released(t):
+                continue
+            if all(x in inmem or x == d for x in graph.inputs_of(t)):
+                n += 1
+        return n
+
+    def _free_tasks(self, d: int, inmem: Set[int]) -> List[int]:
+        graph = self.view.graph
+        return [
+            t
+            for t in graph.users_of(d)
+            if t in self._unowned
+            and self.view.is_released(t)
+            and all(x in inmem or x == d for x in graph.inputs_of(t))
+        ]
+
+    def _select_candidate(self, candidates: List[int]) -> int:
+        """Among equally-unlocking data, prefer the most used overall."""
+        if len(candidates) == 1:
+            return candidates[0]
+        best = max(self._remaining_users[d] for d in candidates)
+        top = [d for d in candidates if self._remaining_users[d] == best]
+        return top[0] if len(top) == 1 else self._rng.choice(top)
+
+    def _best_two_load_task(
+        self, gpu: int, inmem: Set[int]
+    ) -> Optional[int]:
+        """The 3inputs variant's fallback: tasks two loads away.
+
+        Find the datum ``D`` maximising the number of unowned tasks that
+        need ``D`` plus exactly one other absent datum; return one such
+        task (so both its missing inputs get loaded).
+        """
+        graph = self.view.graph
+        score: Dict[int, int] = {}
+        task_for: Dict[int, int] = {}
+        for t in sorted(self._unowned):
+            if not self.view.is_released(t):
+                continue
+            missing = [x for x in graph.inputs_of(t) if x not in inmem]
+            if len(missing) != 2:
+                continue
+            for d in missing:
+                score[d] = score.get(d, 0) + 1
+                task_for.setdefault(d, t)
+        if not score:
+            return None
+        best = max(score.values())
+        top = sorted(d for d, s in score.items() if s == best)
+        d = top[0] if len(top) == 1 else self._rng.choice(top)
+        return task_for[d]
+
+    def _random_unowned(self) -> Optional[int]:
+        pool = sorted(
+            t for t in self._unowned if self.view.is_released(t)
+        )
+        if not pool:
+            return None
+        return self._rng.choice(pool)
+
+    def _take(self, gpu: int, task: int) -> None:
+        """Direct allocation (Algorithm 5 line 13)."""
+        self._unowned.discard(task)
+        for d in self.view.graph.inputs_of(task):
+            self._data_not_in_mem[gpu].discard(d)
+
+    # ------------------------------------------------------------------
+    # notifications
+    # ------------------------------------------------------------------
+    def task_done(self, gpu: int, task_id: int) -> None:
+        self._executed.add(task_id)
+        for d in self.view.graph.inputs_of(task_id):
+            self._remaining_users[d] -= 1
+
+    def on_data_loaded(self, gpu: int, data_id: int) -> None:
+        self._data_not_in_mem[gpu].discard(data_id)
+
+    def on_data_evicted(self, gpu: int, data_id: int) -> None:
+        """Algorithm 6 line 8: un-reserve planned tasks needing the victim."""
+        self._data_not_in_mem[gpu].add(data_id)
+        planned = self._planned[gpu]
+        if not planned:
+            return
+        self.charge_ops(len(planned))
+        graph = self.view.graph
+        keep: List[int] = []
+        for t in planned:
+            if data_id in graph.inputs_of(t):
+                self._unowned.add(t)
+            else:
+                keep.append(t)
+        if len(keep) != len(planned):
+            planned.clear()
+            planned.extend(keep)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def planned_tasks(self, gpu: int) -> Sequence[int]:
+        return tuple(self._planned[gpu])
+
+    def describe(self) -> str:
+        flags = []
+        if self.opti:
+            flags.append("OPTI")
+        if self.three_inputs:
+            flags.append("3inputs")
+        if self.threshold is not None:
+            flags.append(f"threshold={self.threshold}")
+        return f"DARTS({', '.join(flags)})" if flags else "DARTS"

@@ -1,0 +1,39 @@
+"""The EAGER baseline scheduler.
+
+GPUs pick tasks on demand from one shared queue holding the tasks in
+their natural submission order (row-major for the matrix products).  No
+locality consideration whatsoever — the paper's reference point, whose
+throughput collapses as soon as one input matrix no longer fits in GPU
+memory (LRU then reloads the whole B matrix per block-row of A).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.schedulers.base import Scheduler
+
+
+class Eager(Scheduler):
+    """Shared FIFO queue, demand-driven."""
+
+    name = "EAGER"
+
+    def prepare(self, view) -> None:
+        super().prepare(view)
+        self._queue: Deque[int] = deque(range(view.graph.n_tasks))
+
+    def next_task(self, gpu: int) -> Optional[int]:
+        self.charge_ops(1)
+        if not self._queue:
+            return None
+        if not self.view.has_dependencies:
+            return self._queue.popleft()
+        # Dependent-task extension: serve the first *released* task,
+        # leaving blocked ones queued in submission order.
+        for pos, task in enumerate(self._queue):
+            if self.view.is_released(task):
+                del self._queue[pos]
+                return task
+        return None

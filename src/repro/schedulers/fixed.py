@@ -1,0 +1,66 @@
+"""Replay a precomputed :class:`repro.core.Schedule` in the simulator.
+
+Bridges the analytic model and the discrete-event simulator: any static
+σ (brute-force optimal, hand-written, or produced by packing/partitioning
+outside a runtime) can be executed with timing, bus contention and a real
+eviction policy.  Optionally applies Ready reordering and task stealing
+on top, which is how the static halves of mHFP/hMETIS+R behave at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.schedule import Schedule
+from repro.schedulers.base import Scheduler
+from repro.schedulers.ready import ReadyLists
+
+
+class FixedSchedule(Scheduler):
+    """Execute the given per-GPU task lists as-is (or with Ready/steal)."""
+
+    name = "FIXED"
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        use_ready: bool = False,
+        use_stealing: bool = False,
+    ) -> None:
+        super().__init__()
+        self.schedule = schedule
+        self.use_ready = use_ready
+        self.use_stealing = use_stealing
+        if use_ready or use_stealing:
+            suffix = "+R" if use_ready else ""
+            suffix += "+steal" if use_stealing else ""
+            self.name = f"FIXED{suffix}"
+
+    def prepare(self, view) -> None:
+        super().prepare(view)
+        if self.schedule.n_gpus != view.n_gpus:
+            raise ValueError(
+                f"schedule targets {self.schedule.n_gpus} GPUs but the "
+                f"platform has {view.n_gpus}"
+            )
+        self._lists = ReadyLists(view.n_gpus)
+        for k, order in enumerate(self.schedule.order):
+            self._lists.assign(k, order)
+
+    def next_task(self, gpu: int) -> Optional[int]:
+        while True:
+            if self.use_ready:
+                task = self._lists.pop_ready(gpu, self.view)
+                self.charge_ops(self._lists.last_scanned)
+            else:
+                task = self._lists.pop_fifo(gpu, self.view)
+                self.charge_ops(1)
+            if task is not None:
+                return task
+            if self._lists.remaining(gpu):
+                return None  # blocked on dependencies, not out of work
+            if not (self.use_stealing and self._lists.steal_half(gpu)):
+                return None
+
+    def remaining_order(self, gpu: int) -> Sequence[int]:
+        return tuple(self._lists.remaining(gpu))

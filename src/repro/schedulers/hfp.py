@@ -1,0 +1,254 @@
+"""Hierarchical Fair Packing and its multi-GPU adaptation (Algorithm 4).
+
+HFP (prior work [14] of the paper) greedily merges task *packages* that
+share the most input data, preferring small packages (fairness), as long
+as the merged package's input footprint fits in GPU memory.  A second
+phase keeps merging by affinity, ignoring the memory bound, to chain
+packages with high data reuse one after the other.  Task order inside a
+package is never reshuffled by a merge (lists are concatenated), which
+preserves intra-package locality.
+
+mHFP stops the second phase at K packages (one per GPU), balances package
+loads by moving tasks from the tail of the heaviest package to the
+lightest (the paper notes more communication slack near a package's end),
+and at runtime adds Ready reordering and task stealing.
+
+The packing is deliberately *expensive* — a point the paper makes: mHFP's
+scheduling time grows quickly with the task count and dominates its
+benefit (Figs 3, 5).  Its wall-clock cost here is measured and charged to
+``RunResult.scheduling_time``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.problem import TaskGraph
+from repro.schedulers.base import Scheduler
+from repro.schedulers.ready import ReadyLists
+
+
+class _Packages:
+    """Mergeable task packages with shared-input-weight adjacency."""
+
+    def __init__(self, graph: TaskGraph) -> None:
+        self.graph = graph
+        sizes = [d.size for d in graph.data]
+        self.tasks: Dict[int, List[int]] = {}
+        self.footprint: Dict[int, Set[int]] = {}
+        self.bytes: Dict[int, float] = {}
+        self.load: Dict[int, float] = {}
+        self.version: Dict[int, int] = {}
+        # datum -> set of active package ids whose footprint holds it
+        self.pkgs_of: List[Set[int]] = [set() for _ in range(graph.n_data)]
+        self.sizes = sizes
+        for t in graph.tasks:
+            pid = t.id
+            self.tasks[pid] = [t.id]
+            fp = set(t.inputs)
+            self.footprint[pid] = fp
+            self.bytes[pid] = sum(sizes[d] for d in fp)
+            self.load[pid] = t.flops
+            self.version[pid] = 0
+            for d in fp:
+                self.pkgs_of[d].add(pid)
+
+    @property
+    def count(self) -> int:
+        return len(self.tasks)
+
+    def active_ids(self) -> List[int]:
+        return sorted(self.tasks)
+
+    def shared_weights(self, pid: int) -> Dict[int, float]:
+        """Bytes of input data shared between ``pid`` and each neighbour."""
+        w: Dict[int, float] = {}
+        for d in self.footprint[pid]:
+            sz = self.sizes[d]
+            for q in self.pkgs_of[d]:
+                if q != pid:
+                    w[q] = w.get(q, 0.0) + sz
+        return w
+
+    def union_bytes(self, a: int, b: int, shared: float) -> float:
+        return self.bytes[a] + self.bytes[b] - shared
+
+    def merge(self, a: int, b: int) -> int:
+        """Absorb package ``b`` into ``a`` (list concatenation)."""
+        self.tasks[a].extend(self.tasks[b])
+        for d in self.footprint[b]:
+            self.pkgs_of[d].discard(b)
+            if d not in self.footprint[a]:
+                self.footprint[a].add(d)
+                self.bytes[a] += self.sizes[d]
+                self.pkgs_of[d].add(a)
+        self.load[a] += self.load[b]
+        self.version[a] += 1
+        del (
+            self.tasks[b],
+            self.footprint[b],
+            self.bytes[b],
+            self.load[b],
+            self.version[b],
+        )
+        return a
+
+
+def _push_pairs(heap, pk: _Packages, pid: int) -> None:
+    """Push fresh heap entries for ``pid`` against all its neighbours."""
+    ntasks = len(pk.tasks[pid])
+    for q, w in pk.shared_weights(pid).items():
+        a, b = (pid, q) if pid < q else (q, pid)
+        heapq.heappush(
+            heap,
+            (-w, ntasks + len(pk.tasks[q]), a, b, pk.version[a], pk.version[b]),
+        )
+
+
+def _merge_round(
+    pk: _Packages,
+    memory_bound: Optional[float],
+    stop_at: int,
+) -> None:
+    """Greedy best-pair merging until the heap dries up or ``stop_at``.
+
+    ``memory_bound`` restricts merges to packages whose combined input
+    footprint fits (phase 1); ``None`` lifts the restriction (phase 2).
+    """
+    heap: List[Tuple[float, int, int, int, int, int]] = []
+    for pid in pk.active_ids():
+        _push_pairs(heap, pk, pid)
+    while heap and pk.count > stop_at:
+        neg_w, _, a, b, va, vb = heapq.heappop(heap)
+        w = -neg_w
+        if w <= 0:
+            break
+        if a not in pk.tasks or b not in pk.tasks:
+            continue
+        if pk.version[a] != va or pk.version[b] != vb:
+            continue  # stale entry; fresh ones were pushed at merge time
+        if memory_bound is not None and pk.union_bytes(a, b, w) > memory_bound:
+            continue
+        merged = pk.merge(a, b)
+        _push_pairs(heap, pk, merged)
+
+
+def hfp_pack(
+    graph: TaskGraph,
+    memory_bytes: float,
+    k_packages: int,
+) -> List[List[int]]:
+    """Run HFP packing and return ``k_packages`` ordered task lists.
+
+    Phase 1 merges data-sharing packages under the memory bound; phase 2
+    merges by affinity regardless of memory until ``k_packages`` remain;
+    any leftover disconnected packages are folded smallest-first.
+    """
+    if k_packages < 1:
+        raise ValueError("k_packages must be >= 1")
+    pk = _Packages(graph)
+    _merge_round(pk, memory_bytes, stop_at=k_packages)
+    if pk.count > k_packages:
+        _merge_round(pk, None, stop_at=k_packages)
+    # Disconnected leftovers (e.g. sparse instances): fold smallest pairs.
+    while pk.count > k_packages:
+        ids = sorted(pk.tasks, key=lambda p: (len(pk.tasks[p]), p))
+        pk.merge(ids[0], ids[1])
+    out = [pk.tasks[pid] for pid in pk.active_ids()]
+    while len(out) < k_packages:  # fewer tasks than GPUs
+        out.append([])
+    return out
+
+
+def balance_packages(
+    packages: List[List[int]], graph: TaskGraph
+) -> List[List[int]]:
+    """Algorithm 4 lines 2–6: even the load out across the K packages.
+
+    Moves tasks from the *tail* of the heaviest package to the lightest
+    until no package exceeds the average load.  Load is the total task
+    duration — proportional to flops — which reduces to the task count
+    for homogeneous tasks.
+    """
+    packages = [list(p) for p in packages]
+    if len(packages) <= 1:
+        return packages
+    flops = [t.flops for t in graph.tasks]
+
+    def load(p: List[int]) -> float:
+        return sum(flops[t] for t in p)
+
+    l_avg = sum(load(p) for p in packages) / len(packages)
+    loads = [load(p) for p in packages]
+    for _ in range(sum(len(p) for p in packages) + len(packages)):
+        i_max = max(range(len(packages)), key=lambda i: (loads[i], -i))
+        i_min = min(range(len(packages)), key=lambda i: (loads[i], i))
+        budget = min(loads[i_max] - l_avg, l_avg - loads[i_min])
+        if i_max == i_min or budget <= 0:
+            break
+        # Move tail tasks worth at most `budget` load; never overshoot,
+        # otherwise two packages straddling the average would swap the
+        # same task back and forth forever.
+        tol = 1e-9 * max(l_avg, 1.0)
+        moved = 0.0
+        while packages[i_max]:
+            t = packages[i_max][-1]
+            if moved + flops[t] > budget + tol:
+                break
+            packages[i_max].pop()
+            packages[i_min].append(t)
+            moved += flops[t]
+            loads[i_max] -= flops[t]
+            loads[i_min] += flops[t]
+        if moved == 0.0:
+            break
+    return packages
+
+
+class Mhfp(Scheduler):
+    """multi-GPU Hierarchical Fair Packing (paper Algorithm 4)."""
+
+    name = "mHFP"
+
+    def __init__(self, use_ready: bool = True, use_stealing: bool = True) -> None:
+        super().__init__()
+        self.use_ready = use_ready
+        self.use_stealing = use_stealing
+
+    def prepare(self, view) -> None:
+        super().prepare(view)
+        memory = min(g.memory_bytes for g in view.platform.gpus)
+        packages = hfp_pack(view.graph, memory, view.n_gpus)
+        packages = balance_packages(packages, view.graph)
+        self._lists = ReadyLists(view.n_gpus)
+        for k, p in enumerate(packages):
+            self._lists.assign(k, p)
+
+    def next_task(self, gpu: int) -> Optional[int]:
+        while True:
+            if self.use_ready:
+                task = self._lists.pop_ready(gpu, self.view)
+                self.charge_ops(self._lists.last_scanned)
+            else:
+                task = self._lists.pop_fifo(gpu, self.view)
+                self.charge_ops(1)
+            if task is not None:
+                return task
+            if self._lists.remaining(gpu):
+                return None  # blocked on dependencies, not out of work
+            if not (self.use_stealing and self._lists.steal_half(gpu)):
+                return None
+
+    def remaining_order(self, gpu: int) -> Sequence[int]:
+        return tuple(self._lists.remaining(gpu))
+
+    def packages(self) -> List[List[int]]:
+        """The balanced packages (before any runtime stealing); for tests."""
+        return [list(l) for l in self._lists.lists]
+
+
+class Hfp(Mhfp):
+    """Single-GPU HFP (prior work [14]); identical machinery, K = 1."""
+
+    name = "HFP"

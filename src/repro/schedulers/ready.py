@@ -1,0 +1,93 @@
+"""The Ready reordering heuristic (paper Algorithm 2).
+
+Given a list of tasks already allocated to a GPU, repeatedly start the
+task *requiring the fewest data transfers* given what the GPU memory
+currently holds (resident or already being fetched).  Shared by DMDAR,
+hMETIS+R and mHFP.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.runtime import RuntimeView
+
+
+class ReadyLists:
+    """Per-GPU task lists with Ready-order popping.
+
+    ``last_scanned`` exposes how many queue entries the latest
+    :meth:`pop_ready` examined, so schedulers can charge decision
+    operations to the runtime's virtual scheduler clock.
+    """
+
+    def __init__(self, n_gpus: int) -> None:
+        self.lists: List[List[int]] = [[] for _ in range(n_gpus)]
+        self.last_scanned = 0
+
+    def assign(self, gpu: int, tasks) -> None:
+        self.lists[gpu].extend(tasks)
+
+    def remaining(self, gpu: int) -> List[int]:
+        return self.lists[gpu]
+
+    def total_remaining(self) -> int:
+        return sum(len(l) for l in self.lists)
+
+    def pop_ready(self, gpu: int, view: "RuntimeView") -> Optional[int]:
+        """Remove and return the task with the fewest missing bytes.
+
+        Ties go to list position, preserving the allocation order the
+        partitioning/packing phase chose.  Tasks whose dependencies have
+        not completed yet are skipped; returns ``None`` when no task in
+        the list is released (the list may still be non-empty).
+        """
+        lst = self.lists[gpu]
+        self.last_scanned = 0
+        best_pos = -1
+        best_missing = float("inf")
+        for pos, task in enumerate(lst):
+            self.last_scanned += 1
+            if not view.is_released(task):
+                continue
+            missing = view.missing_bytes(gpu, task)
+            if missing < best_missing:
+                best_pos, best_missing = pos, missing
+                if missing == 0:
+                    break
+        if best_pos < 0:
+            return None
+        return lst.pop(best_pos)
+
+    def pop_fifo(self, gpu: int, view: Optional["RuntimeView"] = None) -> Optional[int]:
+        """Head pop (DMDA without Ready): first *released* task."""
+        lst = self.lists[gpu]
+        if view is None or not view.has_dependencies:
+            return lst.pop(0) if lst else None
+        for pos, task in enumerate(lst):
+            if view.is_released(task):
+                return lst.pop(pos)
+        return None
+
+    def steal_half(self, thief: int) -> bool:
+        """Task stealing used by hMETIS+R and mHFP (paper §IV-B).
+
+        The idle GPU takes half of the remaining tasks of the most loaded
+        GPU, from the tail of its list (the paper observed more slack for
+        communication near the end of a package).  Returns True if any
+        task moved.
+        """
+        victims = [
+            (len(lst), k)
+            for k, lst in enumerate(self.lists)
+            if k != thief and lst
+        ]
+        if not victims:
+            return False
+        load, victim = max(victims, key=lambda lv: (lv[0], -lv[1]))
+        take = max(1, load // 2)
+        moved = self.lists[victim][-take:]
+        del self.lists[victim][-take:]
+        self.lists[thief].extend(moved)
+        return True

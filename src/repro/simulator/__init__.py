@@ -1,0 +1,39 @@
+"""Discrete-event simulation of a multi-GPU node (SimGrid/StarPU substitute).
+
+The simulator has three layers:
+
+* :mod:`repro.simulator.engine` — a deterministic discrete-event core;
+* :mod:`repro.simulator.bus` and :mod:`repro.simulator.memory` — the two
+  contended resources of the paper's platform (shared PCIe bus, bounded
+  per-GPU memory with pluggable eviction);
+* :mod:`repro.simulator.runtime` — a StarPU-like runtime that drives
+  pluggable schedulers: per-GPU task buffers (prefetch windows), data
+  fetches overlapping execution, task stealing, eviction callbacks.
+
+``simulate(graph, platform, scheduler, ...)`` is the main entry point.
+"""
+
+from repro.simulator.engine import EventHandle, SimulationEngine
+from repro.simulator.bus import Bus, FairShareBus, FifoBus, make_bus
+from repro.simulator.memory import DataState, DeviceMemory, MemoryFullError
+from repro.simulator.trace import RunResult, TraceEvent, TraceRecorder
+from repro.simulator.runtime import Runtime, RuntimeView, SimulationDeadlock, simulate
+
+__all__ = [
+    "SimulationEngine",
+    "EventHandle",
+    "Bus",
+    "FairShareBus",
+    "FifoBus",
+    "make_bus",
+    "DeviceMemory",
+    "DataState",
+    "MemoryFullError",
+    "Runtime",
+    "RuntimeView",
+    "SimulationDeadlock",
+    "simulate",
+    "RunResult",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,98 @@
+"""Interconnect fabric: host bus plus optional NVLink-style peer links.
+
+The paper's future-work section (§VI) proposes "tak[ing] inter-GPU
+communications into account, such as the one proposed by NVidia NVLinks,
+which enable fast data movement between pairs of GPUs without involving
+the CPU.  Moving data from a nearby GPU is indeed usually faster than
+loading it from the main memory."
+
+:class:`PeerFabric` implements exactly that: when a requested datum is
+already resident on another GPU, it is copied over a peer link (one
+fair-shared egress channel per source GPU, off the host PCIe bus)
+instead of re-fetched from main memory.  The source copy is pinned for
+the duration so it cannot be evicted mid-transfer.  Data present nowhere
+still come from the host over the shared PCIe bus.
+
+Schedulers need no changes — the routing is at the memory-system level,
+just like CUDA peer-to-peer — so every strategy of the paper benefits
+automatically; the ``bench_ablation_nvlink`` benchmark quantifies it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.platform.spec import BusSpec
+from repro.simulator.bus import Bus, FairShareBus
+from repro.simulator.engine import SimulationEngine
+
+
+class PeerFabric:
+    """Routes fetches over peer links when a resident copy exists."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        host_bus: Bus,
+        peer_spec: BusSpec,
+        n_gpus: int,
+    ) -> None:
+        self.engine = engine
+        self.host_bus = host_bus
+        #: one egress channel per source GPU (fair-shared among its
+        #: concurrent outgoing copies)
+        self.peer_channels: List[Bus] = [
+            FairShareBus(engine, peer_spec) for _ in range(n_gpus)
+        ]
+        self._memories: Optional[Sequence[object]] = None
+        # statistics
+        self.bytes_from_host: float = 0.0
+        self.bytes_from_peer: float = 0.0
+        self.peer_transfers: int = 0
+
+    def attach(self, memories: Sequence[object]) -> None:
+        """Wire the per-GPU memories (runtime calls this once)."""
+        self._memories = memories
+
+    # ------------------------------------------------------------------
+    def _locate(self, data_id: int, dst: int) -> Optional[int]:
+        """Lowest-index GPU other than ``dst`` holding ``data_id``."""
+        assert self._memories is not None, "fabric not attached"
+        for k, mem in enumerate(self._memories):
+            if k != dst and mem.is_present(data_id):
+                return k
+        return None
+
+    def submit(
+        self,
+        size: float,
+        dst: int,
+        on_complete: Callable[[], None],
+        data_id: Optional[int] = None,
+    ) -> None:
+        src = self._locate(data_id, dst) if data_id is not None else None
+        if src is None:
+            self.bytes_from_host += size
+            self.host_bus.submit(size, dst, on_complete, data_id=data_id)
+            return
+        # Pin the source copy so it survives until the copy lands.
+        src_mem = self._memories[src]
+        src_mem.pin(data_id)
+        self.bytes_from_peer += size
+        self.peer_transfers += 1
+
+        def done() -> None:
+            src_mem.unpin(data_id)
+            on_complete()
+
+        self.peer_channels[src].submit(size, dst, done, data_id=data_id)
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_transferred(self) -> float:
+        return self.bytes_from_host + self.bytes_from_peer
+
+    def peer_fraction(self) -> float:
+        """Share of traffic served by peer links instead of the host."""
+        total = self.bytes_transferred
+        return self.bytes_from_peer / total if total > 0 else 0.0

@@ -1,0 +1,307 @@
+"""Per-GPU memory manager with pluggable eviction.
+
+Tracks each datum's state on one GPU (absent / fetching / present),
+reserves space when a fetch starts, evicts unpinned present data through
+the configured eviction policy when space is needed, and queues fetch
+requests that cannot yet be satisfied.
+
+Pinning protocol (set by the runtime): inputs of the *currently executing*
+task are pinned; data in flight cannot be evicted either.  Inputs of tasks
+merely sitting in the task buffer are **not** pinned — they can be evicted
+again before their task runs, which is exactly the "domino effect" the
+paper describes for DARTS under LRU, and what the LUF policy is designed
+to avoid.
+
+Evictions are free in time: the paper's model has read-only inputs, so no
+write-back occurs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.simulator.bus import Bus
+from repro.simulator.engine import SimulationEngine
+
+
+class MemoryFullError(Exception):
+    """Raised when a request can never be satisfied (inputs > capacity)."""
+
+
+class DataState(enum.Enum):
+    FETCHING = "fetching"
+    PRESENT = "present"
+    #: space reserved for an output being produced by a running task
+    ALLOCATED = "allocated"
+
+
+class EvictionPolicyProtocol:
+    """What :class:`DeviceMemory` needs from an eviction policy.
+
+    Concrete policies live in :mod:`repro.eviction`; this base only fixes
+    the contract so the simulator has no import dependency on them.
+    """
+
+    name = "abstract"
+
+    def on_insert(self, data_id: int) -> None:
+        """``data_id`` became PRESENT."""
+
+    def on_access(self, data_id: int) -> None:
+        """``data_id`` is read by a task starting now."""
+
+    def on_evict(self, data_id: int) -> None:
+        """``data_id`` was evicted."""
+
+    def choose_victim(self, candidates: Set[int]) -> int:
+        raise NotImplementedError
+
+
+class DeviceMemory:
+    """Bounded memory of one GPU, fed by the shared bus."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        bus: Bus,
+        gpu_index: int,
+        capacity_bytes: float,
+        data_sizes: Sequence[float],
+        policy: EvictionPolicyProtocol,
+        on_data_ready: Callable[[int, int], None],
+        on_evicted: Optional[Callable[[int, int], None]] = None,
+        on_fetch_start: Optional[Callable[[int, int], None]] = None,
+        data_available: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.engine = engine
+        self.bus = bus
+        self.gpu = gpu_index
+        self.capacity = float(capacity_bytes)
+        self.sizes = data_sizes
+        self.policy = policy
+        self._on_data_ready = on_data_ready
+        self._on_evicted = on_evicted
+        self._on_fetch_start = on_fetch_start
+        #: whether a datum can currently be fetched at all (produced
+        #: data are unavailable until written back or peer-resident)
+        self._data_available = data_available
+        self._state: Dict[int, DataState] = {}
+        self._pins: Dict[int, int] = {}
+        self.used: float = 0.0
+        # pending fetches: (datum, data protected from eviction for it)
+        self._pending: List[Tuple[int, FrozenSet[int]]] = []
+        self._pending_set: Set[int] = set()
+        # statistics
+        self.n_loads: int = 0
+        self.bytes_loaded: float = 0.0
+        self.n_evictions: int = 0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def state(self, d: int) -> Optional[DataState]:
+        return self._state.get(d)
+
+    def is_present(self, d: int) -> bool:
+        return self._state.get(d) is DataState.PRESENT
+
+    def is_fetching(self, d: int) -> bool:
+        return self._state.get(d) is DataState.FETCHING
+
+    def holds(self, d: int) -> bool:
+        """Present or on its way (space already reserved)."""
+        return d in self._state
+
+    def present_set(self) -> Set[int]:
+        return {d for d, s in self._state.items() if s is DataState.PRESENT}
+
+    def fetching_set(self) -> Set[int]:
+        return {d for d, s in self._state.items() if s is DataState.FETCHING}
+
+    def held_set(self) -> Set[int]:
+        return set(self._state)
+
+    def is_pinned(self, d: int) -> bool:
+        return self._pins.get(d, 0) > 0
+
+    @property
+    def free(self) -> float:
+        return self.capacity - self.used
+
+    def evictable(self) -> Set[int]:
+        """Present, unpinned data — the candidate set for eviction."""
+        return {
+            d
+            for d, s in self._state.items()
+            if s is DataState.PRESENT and self._pins.get(d, 0) == 0
+        }
+
+    # ------------------------------------------------------------------
+    # pinning
+    # ------------------------------------------------------------------
+    def pin(self, d: int) -> None:
+        self._pins[d] = self._pins.get(d, 0) + 1
+
+    def unpin(self, d: int) -> None:
+        c = self._pins.get(d, 0)
+        if c <= 0:
+            raise ValueError(f"unpin of unpinned data {d} on GPU {self.gpu}")
+        if c == 1:
+            del self._pins[d]
+        else:
+            self._pins[d] = c - 1
+        self._drain_pending()
+
+    # ------------------------------------------------------------------
+    # fetching
+    # ------------------------------------------------------------------
+    def request(self, d: int, protected: Iterable[int] = ()) -> None:
+        """Ask for ``d`` to become present; idempotent while in flight.
+
+        ``protected`` data are exempt from eviction when making room for
+        *this* fetch — the runtime passes the input set of the task about
+        to run, enforcing the paper's ``V(k,i) ∩ D(T_σ(k,i)) = ∅`` rule
+        for the head task (deeper prefetches stay unprotected, which is
+        what allows the LRU "domino effect" the paper describes).
+        """
+        if d in self._state or d in self._pending_set:
+            return
+        if self.sizes[d] > self.capacity:
+            raise MemoryFullError(
+                f"datum {d} ({self.sizes[d]:.0f}B) exceeds GPU {self.gpu} "
+                f"capacity {self.capacity:.0f}B"
+            )
+        self._pending.append((d, frozenset(protected)))
+        self._pending_set.add(d)
+        self._drain_pending()
+
+    def touch(self, d: int) -> None:
+        """Record a use of present datum ``d`` (task start)."""
+        self.policy.on_access(d)
+
+    def retry_pending(self) -> None:
+        """Re-attempt queued fetches (data availability changed)."""
+        self._drain_pending()
+
+    def _drain_pending(self) -> None:
+        """Launch queued fetches in request order.
+
+        Entries whose datum is not yet *available* (an output that has
+        not been written back anywhere reachable) are skipped without
+        blocking later entries; running out of space stops the drain
+        (space is the ordered resource).
+        """
+        i = 0
+        while i < len(self._pending):
+            d, protected = self._pending[i]
+            if d in self._state:  # raced: someone else satisfied it
+                del self._pending[i]
+                self._pending_set.discard(d)
+                continue
+            if self._data_available is not None and not self._data_available(d):
+                i += 1
+                continue
+            if not self._make_room(self.sizes[d], protected):
+                return
+            del self._pending[i]
+            self._pending_set.discard(d)
+            self._state[d] = DataState.FETCHING
+            self.used += self.sizes[d]
+            if self._on_fetch_start is not None:
+                self._on_fetch_start(self.gpu, d)
+            self.bus.submit(
+                self.sizes[d],
+                self.gpu,
+                lambda dd=d: self._fetch_done(dd),
+                data_id=d,
+            )
+
+    # ------------------------------------------------------------------
+    # output data (the paper's output extension)
+    # ------------------------------------------------------------------
+    def allocate_output(self, d: int, protected: Iterable[int] = ()) -> bool:
+        """Reserve space for output ``d`` (no transfer); pin it.
+
+        Returns False when no space can be made right now (caller
+        retries on the next poke).  Idempotent for already-allocated
+        outputs.
+        """
+        if d in self._state:
+            if self._state[d] is DataState.ALLOCATED:
+                return True
+            raise ValueError(f"output {d} already has state {self._state[d]}")
+        if not self._make_room(self.sizes[d], frozenset(protected)):
+            return False
+        self._state[d] = DataState.ALLOCATED
+        self.used += self.sizes[d]
+        self.pin(d)
+        return True
+
+    def mark_produced(self, d: int) -> None:
+        """Output ``d`` finished computing: it is now resident data."""
+        if self._state.get(d) is not DataState.ALLOCATED:
+            raise ValueError(f"datum {d} was not allocated as an output")
+        self._state[d] = DataState.PRESENT
+        self.policy.on_insert(d)
+
+    def _make_room(self, size: float, protected: FrozenSet[int] = frozenset()) -> bool:
+        """Evict until ``size`` bytes are free; False if impossible now."""
+        while self.capacity - self.used < size:
+            candidates = self.evictable() - protected
+            if not candidates:
+                return False
+            victim = self.policy.choose_victim(candidates)
+            if victim not in candidates:
+                raise RuntimeError(
+                    f"policy {self.policy.name} chose non-candidate {victim}"
+                )
+            self.evict(victim)
+        return True
+
+    def evict(self, d: int) -> None:
+        """Drop present, unpinned datum ``d`` (no write-back)."""
+        if self._state.get(d) is not DataState.PRESENT:
+            raise ValueError(f"cannot evict non-present datum {d}")
+        if self.is_pinned(d):
+            raise ValueError(f"cannot evict pinned datum {d}")
+        del self._state[d]
+        self.used -= self.sizes[d]
+        self.n_evictions += 1
+        self.policy.on_evict(d)
+        if self._on_evicted is not None:
+            self._on_evicted(self.gpu, d)
+
+    def _fetch_done(self, d: int) -> None:
+        assert self._state.get(d) is DataState.FETCHING
+        self._state[d] = DataState.PRESENT
+        self.n_loads += 1
+        self.bytes_loaded += self.sizes[d]
+        self.policy.on_insert(d)
+        self._drain_pending()
+        self._on_data_ready(self.gpu, d)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Accounting invariants; used by tests after every run."""
+        acc = sum(self.sizes[d] for d in self._state)
+        assert abs(acc - self.used) < 1e-6, (
+            f"GPU {self.gpu}: used={self.used} but states sum to {acc}"
+        )
+        assert self.used <= self.capacity + 1e-6
+        for d in self._pins:
+            assert d in self._state, f"pinned datum {d} not held"

@@ -1,0 +1,27 @@
+"""The paper's application scenarios as task-graph generators.
+
+* :func:`matmul2d` — 2D-blocked matrix product: task ``C[i,j]`` reads
+  block-row ``A[i]`` and block-column ``B[j]`` (natural row-major or
+  randomized submission order);
+* :func:`matmul3d` — 3D-blocked product: task ``(i,j,k)`` reads
+  ``A[i,k]``, ``B[k,j]`` and the partial tile ``C[i,j]`` (3 inputs);
+* :func:`cholesky_tasks` — the tasks of a tiled Cholesky factorisation
+  (POTRF/TRSM/SYRK/GEMM) with dependencies stripped;
+* :func:`sparse_matmul2d` — the 2D product with 98 % of tasks removed
+  (high communication-to-computation ratio);
+* :func:`random_bipartite` — random instances for stress/property tests.
+"""
+
+from repro.workloads.matmul2d import matmul2d
+from repro.workloads.matmul3d import matmul3d
+from repro.workloads.cholesky import cholesky_tasks
+from repro.workloads.sparse import sparse_matmul2d
+from repro.workloads.randomgraph import random_bipartite
+
+__all__ = [
+    "matmul2d",
+    "matmul3d",
+    "cholesky_tasks",
+    "sparse_matmul2d",
+    "random_bipartite",
+]

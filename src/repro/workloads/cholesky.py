@@ -1,0 +1,63 @@
+"""Tasks of a tiled Cholesky factorisation, dependencies removed (§V-F).
+
+The right-looking tiled Cholesky of an ``n × n`` tile matrix submits, for
+each step ``k``:
+
+* ``POTRF(k)`` — factorise the diagonal tile, reads ``A[k,k]``;
+* ``TRSM(i,k)`` for ``i > k`` — reads ``A[i,k]`` and ``A[k,k]``;
+* ``SYRK(i,k)`` for ``i > k`` — reads ``A[i,i]`` and ``A[i,k]``;
+* ``GEMM(i,j,k)`` for ``i > j > k`` — reads ``A[i,j]``, ``A[i,k]``,
+  ``A[j,k]`` (three inputs).
+
+Per the paper, dependencies between these tasks are dropped so the set is
+independent; what remains is a large (``Θ(n³)``), *irregular* sharing
+pattern with heterogeneous task durations — the scenario that stresses
+DARTS's scheduling time and motivates the OPTI variant.
+
+Flop counts use the classic tile-kernel costs for tile side ``b``:
+``b³/3`` (POTRF), ``b³`` (TRSM and SYRK), ``2 b³`` (GEMM).
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import TaskGraph
+from repro.platform.calibration import CHOLESKY_TILE_BYTES, TILE_N
+
+
+def cholesky_tasks(
+    n: int,
+    data_size: float = CHOLESKY_TILE_BYTES,
+    tile_side: int = TILE_N,
+) -> TaskGraph:
+    """Build the independent-task Cholesky set on an ``n × n`` tile grid.
+
+    Data are the ``n(n+1)/2`` lower-triangle tiles; the task count is
+    ``n`` POTRF + ``n(n-1)/2`` TRSM + ``n(n-1)/2`` SYRK +
+    ``n(n-1)(n-2)/6`` GEMM.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    b3 = float(tile_side) ** 3
+    g = TaskGraph(name=f"cholesky(n={n})")
+    tile = {}
+    for i in range(n):
+        for j in range(i + 1):
+            tile[(i, j)] = g.add_data(data_size, name=f"A[{i},{j}]")
+
+    for k in range(n):
+        g.add_task([tile[(k, k)]], flops=b3 / 3.0, name=f"POTRF({k})")
+        for i in range(k + 1, n):
+            g.add_task(
+                [tile[(i, k)], tile[(k, k)]], flops=b3, name=f"TRSM({i},{k})"
+            )
+        for i in range(k + 1, n):
+            g.add_task(
+                [tile[(i, i)], tile[(i, k)]], flops=b3, name=f"SYRK({i},{k})"
+            )
+            for j in range(k + 1, i):
+                g.add_task(
+                    [tile[(i, j)], tile[(i, k)], tile[(j, k)]],
+                    flops=2.0 * b3,
+                    name=f"GEMM({i},{j},{k})",
+                )
+    return g

@@ -1,0 +1,44 @@
+"""3D-blocked matrix multiplication (paper §V-E).
+
+All three matrices are tiled: task ``(i,j,k)`` computes the block product
+``A[i,k] × B[k,j]`` contributing to ``C[i,j]``.  Following the paper we
+drop the final summation (dependencies) and keep the ``n³``
+computationally intensive product tasks.  Each task reads three data —
+``A[i,k]``, ``B[k,j]`` and the partial tile ``C[i,j]`` it accumulates
+into — which is the ≥ 3-inputs regime motivating the DARTS "3inputs"
+variant: at start-up *no* single data load can free a task.
+
+``include_c=False`` gives the 2-inputs interpretation (pure products).
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import TaskGraph
+from repro.platform.calibration import DATA_SIZE_BYTES, TASK_FLOPS_SQUARE
+
+
+def matmul3d(
+    n: int,
+    data_size: float = DATA_SIZE_BYTES,
+    task_flops: float = TASK_FLOPS_SQUARE,
+    include_c: bool = True,
+) -> TaskGraph:
+    """Build the ``n³``-task 3D matmul graph (``3n²`` or ``2n²`` data)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    g = TaskGraph(name=f"matmul3d(n={n})")
+    a = [[g.add_data(data_size, name=f"A[{i},{k}]") for k in range(n)] for i in range(n)]
+    b = [[g.add_data(data_size, name=f"B[{k},{j}]") for j in range(n)] for k in range(n)]
+    c = (
+        [[g.add_data(data_size, name=f"C[{i},{j}]") for j in range(n)] for i in range(n)]
+        if include_c
+        else None
+    )
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                inputs = [a[i][k], b[k][j]]
+                if c is not None:
+                    inputs.append(c[i][j])
+                g.add_task(inputs, flops=task_flops, name=f"P[{i},{j},{k}]")
+    return g

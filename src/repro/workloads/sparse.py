@@ -1,0 +1,55 @@
+"""Sparse 2D matrix multiplication (paper §V-G).
+
+The 2D-blocked product with 98 % of the tasks removed at random: far
+fewer tasks share each datum, so the communication-to-computation ratio
+is much higher — typical of sparse computations.  Block-rows/columns
+that end up with no surviving task are dropped from the graph so the
+working set reflects data actually used.
+"""
+
+from __future__ import annotations
+
+import random
+from repro.core.problem import TaskGraph
+from repro.platform.calibration import DATA_SIZE_BYTES, TASK_FLOPS_GEMM
+
+
+def sparse_matmul2d(
+    n: int,
+    density: float = 0.02,
+    data_size: float = DATA_SIZE_BYTES,
+    task_flops: float = TASK_FLOPS_GEMM,
+    seed: int = 0,
+) -> TaskGraph:
+    """Keep each of the ``n²`` tasks with probability ``density``.
+
+    At least one task always survives (the draw is retried with the next
+    seed on the — tiny-instance — event that all tasks vanish).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    for attempt in range(100):
+        rng = random.Random(f"{seed}/{attempt}")
+        kept = [
+            (i, j)
+            for i in range(n)
+            for j in range(n)
+            if rng.random() < density
+        ]
+        if kept:
+            break
+    else:  # pragma: no cover - density > 0 makes this vanishingly unlikely
+        kept = [(0, 0)]
+
+    used_rows = sorted({i for i, _ in kept})
+    used_cols = sorted({j for _, j in kept})
+    g = TaskGraph(name=f"sparse2d(n={n}, density={density})")
+    row_data = {i: g.add_data(data_size, name=f"A[{i}]") for i in used_rows}
+    col_data = {j: g.add_data(data_size, name=f"B[{j}]") for j in used_cols}
+    for i, j in kept:  # row-major submission, like the dense case
+        g.add_task(
+            [row_data[i], col_data[j]], flops=task_flops, name=f"C[{i},{j}]"
+        )
+    return g

@@ -1,0 +1,102 @@
+"""Tests for interval extraction and resource-utilization analysis."""
+
+import pytest
+
+from repro.analysis.timeline import (
+    Interval,
+    bus_utilization,
+    gpu_busy_intervals,
+    idle_time,
+    memory_timeline,
+    overlap_fraction,
+    transfer_intervals,
+)
+from repro.schedulers.eager import Eager
+from repro.simulator.runtime import simulate
+from repro.simulator.trace import TraceRecorder
+
+from tests.conftest import toy_platform
+
+
+def traced_run(graph, **kw):
+    kw.setdefault("record_trace", True)
+    return simulate(graph, toy_platform(**{k: v for k, v in kw.items()
+                                           if k in ("n_gpus", "memory",
+                                                    "bandwidth", "gflops")}),
+                    Eager(),
+                    record_trace=True)
+
+
+class TestIntervals:
+    def test_busy_intervals_cover_all_tasks(self, figure1_graph):
+        r = traced_run(figure1_graph, memory=4.0)
+        busy = gpu_busy_intervals(r.trace, 0)
+        assert len(busy) == 9
+        assert all(iv.duration == pytest.approx(1.0) for iv in busy)
+
+    def test_busy_intervals_do_not_overlap(self, figure1_graph):
+        r = traced_run(figure1_graph, memory=4.0)
+        busy = gpu_busy_intervals(r.trace, 0)
+        for a, b in zip(busy, busy[1:]):
+            assert b.start >= a.end - 1e-12
+
+    def test_transfer_intervals_match_load_count(self, figure1_graph):
+        r = traced_run(figure1_graph, memory=2.0)
+        xfers = transfer_intervals(r.trace, 0)
+        assert len(xfers) == r.total_loads
+        assert all(iv.duration > 0 for iv in xfers)
+
+    def test_pairing_handles_refetches(self, figure1_graph):
+        """The same datum may be fetched several times (after eviction);
+        each pair must close in FIFO order."""
+        r = traced_run(figure1_graph, memory=2.0)
+        xfers = transfer_intervals(r.trace, 0)
+        by_ref = {}
+        for iv in xfers:
+            by_ref.setdefault(iv.ref, []).append(iv)
+        for ivs in by_ref.values():
+            for a, b in zip(ivs, ivs[1:]):
+                assert b.start >= a.end - 1e-12
+
+
+class TestUtilization:
+    def test_bus_utilization_in_unit_range(self, figure1_graph):
+        r = traced_run(figure1_graph, memory=2.0)
+        u = bus_utilization(r.trace, 1, r.makespan)
+        assert 0.0 < u <= 1.0
+
+    def test_idle_plus_busy_equals_makespan(self, figure1_graph):
+        r = traced_run(figure1_graph, memory=4.0)
+        busy = sum(iv.duration for iv in gpu_busy_intervals(r.trace, 0))
+        assert busy + idle_time(r.trace, 0, r.makespan) == pytest.approx(
+            r.makespan
+        )
+
+    def test_overlap_fraction_bounds(self, figure1_graph):
+        r = traced_run(figure1_graph, memory=2.0)
+        f = overlap_fraction(r.trace, 0)
+        assert 0.0 <= f <= 1.0
+
+    def test_overlap_is_one_without_transfers(self):
+        trace = TraceRecorder(enabled=True)
+        assert overlap_fraction(trace, 0) == 1.0
+
+
+class TestMemoryTimeline:
+    def test_counts_rise_and_fall(self, figure1_graph):
+        r = traced_run(figure1_graph, memory=2.0)
+        tl = memory_timeline(r.trace, 0)
+        levels = [lvl for _, lvl in tl]
+        assert max(levels) <= 2.0  # capacity respected in resident count
+        assert levels[0] == 0.0
+
+    def test_byte_mode(self, figure1_graph):
+        r = traced_run(figure1_graph, memory=2.0)
+        sizes = [d.size for d in figure1_graph.data]
+        tl = memory_timeline(r.trace, 0, data_sizes=sizes)
+        assert max(lvl for _, lvl in tl) <= 2.0
+
+    def test_times_monotonic(self, figure1_graph):
+        r = traced_run(figure1_graph, memory=2.0)
+        times = [t for t, _ in memory_timeline(r.trace, 0)]
+        assert times == sorted(times)

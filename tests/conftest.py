@@ -1,0 +1,63 @@
+"""Shared fixtures: small canonical instances and platforms."""
+
+import pytest
+
+from repro.core.problem import TaskGraph
+from repro.platform.spec import BusSpec, GpuSpec, PlatformSpec
+
+
+@pytest.fixture
+def figure1_graph() -> TaskGraph:
+    """The paper's Figure 1: 9 tasks on a 3×3 grid, 6 shared data.
+
+    Task ``T_{3i+j+1}`` reads row datum ``D_{i+1}`` and column datum
+    ``D_{j+4}`` (ids 0..5 here).  All sizes are 1.
+    """
+    g = TaskGraph("figure1")
+    rows = [g.add_data(1.0, name=f"D{i + 1}") for i in range(3)]
+    cols = [g.add_data(1.0, name=f"D{j + 4}") for j in range(3)]
+    for i in range(3):
+        for j in range(3):
+            g.add_task([rows[i], cols[j]], flops=1.0, name=f"T{3 * i + j + 1}")
+    return g
+
+
+@pytest.fixture
+def chain_graph() -> TaskGraph:
+    """5 tasks in a chain: task i shares one datum with task i+1."""
+    g = TaskGraph("chain")
+    d = [g.add_data(1.0, name=f"D{i}") for i in range(6)]
+    for i in range(5):
+        g.add_task([d[i], d[i + 1]], flops=1.0, name=f"T{i}")
+    return g
+
+
+@pytest.fixture
+def single_gpu_platform() -> PlatformSpec:
+    """One idealized GPU: 1 GFlop/s, 4-byte memory, unit-ish bus."""
+    return PlatformSpec(
+        gpus=[GpuSpec(name="toy", gflops=1e-9 * 1e9, memory_bytes=4.0)],
+        bus=BusSpec(bandwidth=1.0, latency=0.0, model="fifo"),
+    )
+
+
+def toy_platform(
+    n_gpus: int = 1,
+    memory: float = 4.0,
+    bandwidth: float = 1.0,
+    gflops: float = 1.0,
+    model: str = "fifo",
+    latency: float = 0.0,
+) -> PlatformSpec:
+    """Tiny platform with unit-size quantities for exact timing math.
+
+    ``gflops`` is in *flops per second* here divided by 1e9 internally,
+    i.e. pass ``gflops=1.0`` for "1 flop takes 1 second per flop unit".
+    """
+    return PlatformSpec(
+        gpus=[
+            GpuSpec(name="toy", gflops=gflops / 1e9, memory_bytes=memory)
+        ]
+        * n_gpus,
+        bus=BusSpec(bandwidth=bandwidth, latency=latency, model=model),
+    )

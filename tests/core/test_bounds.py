@@ -1,0 +1,90 @@
+"""Tests for roofline / PCI-limit / compulsory-load bounds."""
+
+import pytest
+
+from repro.core.bounds import (
+    achieved_gflops,
+    compulsory_loads,
+    compute_time_lower_bound,
+    pci_transfer_limit_bytes,
+    perfect_balance_load,
+    roofline_gflops,
+    time_lower_bound,
+    transfer_time_lower_bound,
+)
+from repro.core.schedule import Schedule
+
+
+class TestRoofline:
+    def test_scales_with_gpus(self):
+        assert roofline_gflops(4, 13253.0) == 4 * 13253.0
+
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(ValueError):
+            roofline_gflops(0, 13253.0)
+
+
+class TestTimeBounds:
+    def test_compute_bound(self, figure1_graph):
+        # 9 tasks x 1 flop at 1e-9 GFlop/s = 1 flop/s -> 9 seconds on 1 GPU
+        t = compute_time_lower_bound(figure1_graph, 1, 1e-9)
+        assert t == pytest.approx(9.0)
+
+    def test_compute_bound_divides_across_gpus(self, figure1_graph):
+        t1 = compute_time_lower_bound(figure1_graph, 1, 1e-9)
+        t3 = compute_time_lower_bound(figure1_graph, 3, 1e-9)
+        assert t3 == pytest.approx(t1 / 3)
+
+    def test_transfer_bound(self, figure1_graph):
+        # 6 bytes over a 2 B/s bus -> 3 seconds
+        assert transfer_time_lower_bound(figure1_graph, 2.0) == pytest.approx(3.0)
+
+    def test_transfer_bound_rejects_bad_bandwidth(self, figure1_graph):
+        with pytest.raises(ValueError):
+            transfer_time_lower_bound(figure1_graph, 0.0)
+
+    def test_combined_bound_is_max(self, figure1_graph):
+        t = time_lower_bound(figure1_graph, 1, 1e-9, 0.5)
+        assert t == pytest.approx(12.0)  # transfer-bound: 6/0.5
+        t = time_lower_bound(figure1_graph, 1, 1e-9, 100.0)
+        assert t == pytest.approx(9.0)  # compute-bound
+
+
+class TestPciLimit:
+    def test_limit_is_compute_time_times_bandwidth(self, figure1_graph):
+        limit = pci_transfer_limit_bytes(figure1_graph, 1, 1e-9, 2.0)
+        assert limit == pytest.approx(18.0)  # 9 s x 2 B/s
+
+    def test_limit_shrinks_with_more_gpus(self, figure1_graph):
+        one = pci_transfer_limit_bytes(figure1_graph, 1, 1e-9, 2.0)
+        four = pci_transfer_limit_bytes(figure1_graph, 4, 1e-9, 2.0)
+        assert four == pytest.approx(one / 4)
+
+
+class TestCompulsoryLoads:
+    def test_without_schedule_is_n_data(self, figure1_graph):
+        assert compulsory_loads(figure1_graph) == 6
+
+    def test_with_partition_counts_replication(self, figure1_graph):
+        # rows 0..2 on GPU0 tasks {0..2}: uses D0 + all 3 columns = 4 data
+        s = Schedule(order=[[0, 1, 2], [3, 4, 5], [6, 7, 8]])
+        assert compulsory_loads(figure1_graph, s) == 12
+
+    def test_single_gpu_partition_equals_plain_bound(self, figure1_graph):
+        s = Schedule.single_gpu(list(range(9)))
+        assert compulsory_loads(figure1_graph, s) == 6
+
+
+class TestMisc:
+    def test_achieved_gflops(self, figure1_graph):
+        assert achieved_gflops(figure1_graph, 9.0) == pytest.approx(1e-9)
+
+    def test_achieved_gflops_rejects_zero_makespan(self, figure1_graph):
+        with pytest.raises(ValueError):
+            achieved_gflops(figure1_graph, 0.0)
+
+    @pytest.mark.parametrize(
+        "m,k,expected", [(9, 2, 5), (8, 2, 4), (10, 4, 3), (1, 8, 1)]
+    )
+    def test_perfect_balance_load(self, m, k, expected):
+        assert perfect_balance_load(m, k) == expected

@@ -1,0 +1,112 @@
+"""Tests for the experiment harness and the figure registry."""
+
+import pytest
+
+from repro.experiments.figures import FIGURES, FigureConfig
+from repro.experiments.harness import SweepSpec, run_figure, run_sweep
+from repro.platform.spec import tesla_v100_node
+from repro.workloads.matmul2d import matmul2d
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        title="tiny",
+        workload=lambda n: matmul2d(n),
+        ns=[4, 6],
+        platform=lambda: tesla_v100_node(1, memory_bytes=120e6),
+        schedulers=["eager", "darts+luf"],
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+class TestRunSweep:
+    def test_series_aligned_across_schedulers(self):
+        sweep = run_sweep(tiny_spec())
+        xs = {tuple(s.xs()) for s in sweep.series.values()}
+        assert len(xs) == 1
+        assert len(next(iter(xs))) == 2
+
+    def test_reference_lines_present(self):
+        sweep = run_sweep(tiny_spec())
+        assert "GFlop/s max" in sweep.reference_lines
+        assert sweep.reference_lines["GFlop/s max"] == pytest.approx(13253.0)
+        assert len(sweep.reference_curves["PCI bus limit (MB)"]) == 2
+
+    def test_no_sched_time_variant_added(self):
+        sweep = run_sweep(
+            tiny_spec(schedulers=["hmetis+r"],
+                      no_sched_time_variants=["hmetis+r"])
+        )
+        assert "hMETIS+R" in sweep.series
+        assert "hMETIS+R no sched. time" in sweep.series
+        pure = sweep.series["hMETIS+R no sched. time"].points[0]
+        assert pure.gflops == pure.gflops_with_sched
+
+    def test_repetitions_average(self):
+        sweep = run_sweep(tiny_spec(ns=[4], repetitions=3))
+        assert len(sweep.series["EAGER"].points) == 1
+
+    def test_threshold_only_reaches_darts(self):
+        spec = tiny_spec(
+            schedulers=["eager", "darts+luf+threshold"], threshold=2
+        )
+        sweep = run_sweep(spec)
+        assert "DARTS+LUF+threshold" in sweep.series
+
+
+class TestFigureRegistry:
+    def test_all_eleven_figures_registered(self):
+        assert sorted(FIGURES) == [f"fig{i}" for i in range(10, 14)] + [
+            f"fig{i}" for i in range(3, 10)
+        ]
+
+    def test_every_figure_has_both_scales(self):
+        for cfg in FIGURES.values():
+            assert cfg.ns_small and cfg.ns_paper
+            assert cfg.metric in (
+                "gflops",
+                "gflops_with_sched",
+                "transfers_mb",
+            )
+
+    def test_spec_builds_for_both_scales(self):
+        for cfg in FIGURES.values():
+            for scale in ("small", "paper"):
+                spec = cfg.spec(scale)
+                assert spec.ns
+                assert spec.platform().n_gpus == cfg.n_gpus
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            FIGURES["fig3"].spec("huge")
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            run_figure("fig99")
+
+    def test_unlimited_memory_figure(self):
+        plat = FIGURES["fig13"].platform_factory("small")()
+        assert plat.gpus[0].memory_bytes == 32e9
+
+    def test_memory_small_only_applies_to_small_scale(self):
+        cfg = FIGURES["fig8"]
+        small = cfg.platform_factory("small")()
+        paper = cfg.platform_factory("paper")()
+        assert small.gpus[0].memory_bytes == 250e6
+        assert paper.gpus[0].memory_bytes == 500e6
+
+
+class TestCli:
+    def test_cli_runs_a_figure(self, capsys):
+        from repro.experiments import cli
+
+        rc = cli.main(["fig4", "--scale", "small", "--points", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fig4" in out and "EAGER" in out
+
+    def test_cli_unknown_figure(self, capsys):
+        from repro.experiments import cli
+
+        assert cli.main(["fig99"]) == 2

@@ -1,0 +1,79 @@
+"""Heterogeneous platforms: the paper's model notes both extensions
+(heterogeneous task durations and data sizes) are straightforward; this
+exercises them end to end."""
+
+import pytest
+
+from repro.platform.spec import BusSpec, GpuSpec, PlatformSpec
+from repro.schedulers.registry import make_scheduler
+from repro.simulator.runtime import simulate
+from repro.workloads.matmul2d import matmul2d
+from repro.workloads.randomgraph import random_bipartite
+
+
+def uneven_platform(fast=4.0, slow=1.0, memory=8.0):
+    return PlatformSpec(
+        gpus=[
+            GpuSpec(name="fast", gflops=fast * 1e-9, memory_bytes=memory),
+            GpuSpec(name="slow", gflops=slow * 1e-9, memory_bytes=memory),
+        ],
+        bus=BusSpec(bandwidth=50.0, latency=0.0, model="fair"),
+    )
+
+
+class TestHeterogeneousGpus:
+    def test_dmda_sends_more_work_to_the_fast_gpu(self):
+        """Eq. 1's comp term steers load toward the faster device."""
+        g = matmul2d(6, data_size=1.0, task_flops=1.0)
+        sched, eviction = make_scheduler("dmda")
+        result = simulate(g, uneven_platform(), sched, eviction=eviction)
+        fast, slow = result.gpus
+        assert fast.n_tasks > slow.n_tasks
+
+    def test_stealing_rebalances_on_uneven_speeds(self):
+        """mHFP splits tasks evenly; the fast GPU finishes first and
+        steals, so its final share exceeds half."""
+        g = matmul2d(6, data_size=1.0, task_flops=1.0)
+        sched, eviction = make_scheduler("mhfp")
+        result = simulate(g, uneven_platform(), sched, eviction=eviction)
+        fast, slow = result.gpus
+        assert fast.n_tasks > slow.n_tasks
+
+    @pytest.mark.parametrize("name", ["eager", "dmdar", "darts+luf"])
+    def test_all_schedulers_complete_on_uneven_platform(self, name):
+        g = matmul2d(5, data_size=1.0, task_flops=1.0)
+        sched, eviction = make_scheduler(name)
+        result = simulate(
+            g, uneven_platform(), sched, eviction=eviction, seed=2
+        )
+        assert sum(s.n_tasks for s in result.gpus) == 25
+
+
+class TestHeterogeneousDataSizes:
+    @pytest.mark.parametrize("name", ["eager", "dmdar", "darts+luf", "mhfp"])
+    def test_mixed_sizes_run_under_byte_capacity(self, name):
+        g = random_bipartite(
+            20, 8, arity=2, data_size=1.0, seed=5, heterogeneous_sizes=True
+        )
+        plat = PlatformSpec(
+            gpus=[GpuSpec(name="t", gflops=1e-9, memory_bytes=6.0)] * 2,
+            bus=BusSpec(bandwidth=10.0, latency=0.0, model="fair"),
+        )
+        sched, eviction = make_scheduler(name)
+        result = simulate(g, plat, sched, eviction=eviction, seed=5)
+        assert sum(s.n_tasks for s in result.gpus) == 20
+
+    def test_bytes_accounted_exactly(self):
+        g = random_bipartite(
+            12, 5, arity=2, data_size=1.0, seed=1, heterogeneous_sizes=True
+        )
+        plat = PlatformSpec(
+            gpus=[GpuSpec(name="t", gflops=1e-9, memory_bytes=10.0)],
+            bus=BusSpec(bandwidth=10.0, latency=0.0, model="fifo"),
+        )
+        sched, eviction = make_scheduler("eager")
+        result = simulate(g, plat, sched, eviction=eviction)
+        used = {d for t in g.tasks for d in t.inputs}
+        assert result.total_bytes == pytest.approx(
+            sum(g.data[d].size for d in used)
+        )

@@ -1,0 +1,75 @@
+"""Tests for the FM refinement pass and cut computation."""
+
+import random
+
+import pytest
+
+from repro.partitioning.fm import bisection_cut, fm_refine
+from repro.partitioning.hypergraph import Hypergraph
+
+
+def two_cliques(k=4, bridge_weight=0.1):
+    """Two k-vertex groups, heavy internal nets, one light bridge net."""
+    n = 2 * k
+    nets = [tuple(range(k)), tuple(range(k, n)), (k - 1, k)]
+    weights = [10.0, 10.0, bridge_weight]
+    return Hypergraph(n, [1.0] * n, nets, weights)
+
+
+class TestCut:
+    def test_uncut_partition_costs_zero(self):
+        h = two_cliques()
+        side = [0] * 4 + [1] * 4
+        assert bisection_cut(h, side) == pytest.approx(0.1)
+
+    def test_fully_mixed_cuts_everything(self):
+        h = two_cliques()
+        side = [0, 1] * 4
+        assert bisection_cut(h, side) == pytest.approx(20.1)
+
+    def test_all_on_one_side_cuts_nothing(self):
+        h = two_cliques()
+        assert bisection_cut(h, [0] * 8) == 0.0
+
+
+class TestRefinement:
+    def test_repairs_a_bad_bisection(self):
+        h = two_cliques()
+        # swap one vertex across: both heavy nets become cut
+        side = [0, 0, 0, 1, 0, 1, 1, 1]
+        refined = fm_refine(h, side, target0=4.0, tolerance=1.0)
+        assert bisection_cut(h, refined) == pytest.approx(0.1)
+
+    def test_respects_balance(self):
+        h = two_cliques()
+        side = [0, 0, 0, 1, 0, 1, 1, 1]
+        refined = fm_refine(h, side, target0=4.0, tolerance=1.0)
+        w0 = sum(1 for s in refined if s == 0)
+        assert 3 <= w0 <= 5
+
+    def test_never_worsens_cut(self):
+        rng = random.Random(4)
+        for trial in range(10):
+            n = 12
+            nets = []
+            for _ in range(20):
+                size = rng.randint(2, 4)
+                nets.append(tuple(rng.sample(range(n), size)))
+            h = Hypergraph(n, [1.0] * n, nets, [1.0] * 20)
+            side = [rng.randint(0, 1) for _ in range(n)]
+            before = bisection_cut(h, side)
+            refined = fm_refine(h, side, target0=n / 2, tolerance=2.0)
+            assert bisection_cut(h, refined) <= before + 1e-9
+
+    def test_repairs_infeasible_balance(self):
+        """All vertices on one side: FM must move some across."""
+        h = two_cliques()
+        refined = fm_refine(h, [0] * 8, target0=4.0, tolerance=1.0)
+        w0 = sum(1 for s in refined if s == 0)
+        assert w0 < 8
+
+    def test_weighted_vertices_balanced_by_weight(self):
+        h = Hypergraph(4, [3.0, 1.0, 1.0, 1.0], [(0, 1), (2, 3)], [1.0, 1.0])
+        refined = fm_refine(h, [0, 0, 1, 1], target0=3.0, tolerance=0.5)
+        w0 = sum(h.vwgt[v] for v in range(4) if refined[v] == 0)
+        assert abs(w0 - 3.0) <= 1.0

@@ -1,0 +1,63 @@
+"""Calibration constants must stay consistent with the paper's setup."""
+
+import pytest
+
+from repro.platform.calibration import (
+    DATA_SIZE_BYTES,
+    DEFAULT_GPU_MEMORY_BYTES,
+    PCIE_BANDWIDTH_BYTES_PER_S,
+    TASK_FLOPS_GEMM,
+    V100_GEMM_GFLOPS,
+    data_items_per_memory,
+    task_duration_s,
+    transfer_duration_s,
+)
+
+
+class TestPaperAnchors:
+    def test_data_block_is_about_14_mb(self):
+        assert DATA_SIZE_BYTES == pytest.approx(14.75e6, rel=0.01)
+
+    def test_working_set_anchor_n5(self):
+        """Paper: 5x5 tasks <-> 140 MB working set (10 data)."""
+        ws = 10 * DATA_SIZE_BYTES / 1e6
+        assert ws == pytest.approx(147, rel=0.06)
+
+    def test_working_set_anchor_n300(self):
+        """Paper: 300x300 tasks <-> 8 400 MB working set (600 data)."""
+        ws = 600 * DATA_SIZE_BYTES / 1e6
+        assert ws == pytest.approx(8400, rel=0.06)
+
+    def test_m_is_33_blocks_at_500mb(self):
+        assert data_items_per_memory(DEFAULT_GPU_MEMORY_BYTES) == 33
+
+    def test_transfer_slower_than_compute(self):
+        """The regime that makes scheduling matter: one transfer costs
+        more than one task, so >1 load/task means bus-bound."""
+        assert transfer_duration_s() > task_duration_s()
+        ratio = transfer_duration_s() / task_duration_s()
+        assert 1.4 < ratio < 2.2
+
+    def test_eager_collapse_plateau(self):
+        """One load per task caps throughput near the paper's ~7.5 TF/s."""
+        plateau = V100_GEMM_GFLOPS * task_duration_s() / transfer_duration_s()
+        assert 6_500 < plateau < 8_500
+
+
+class TestHelpers:
+    def test_task_duration_formula(self):
+        assert task_duration_s(1e9, 1.0) == pytest.approx(1.0)
+
+    def test_task_duration_rejects_bad_gflops(self):
+        with pytest.raises(ValueError):
+            task_duration_s(1.0, 0.0)
+
+    def test_transfer_duration_includes_latency(self):
+        assert transfer_duration_s(16e9, 16e9, latency=0.5) == pytest.approx(1.5)
+
+    def test_transfer_duration_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            transfer_duration_s(1.0, 0.0)
+
+    def test_items_per_memory_floor(self):
+        assert data_items_per_memory(29.5e6, 10e6) == 2

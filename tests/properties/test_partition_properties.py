@@ -1,0 +1,90 @@
+"""Property-based tests for partitioning and packing."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partitioning.fm import bisection_cut, fm_refine
+from repro.partitioning.hypergraph import Hypergraph
+from repro.partitioning.interface import cut_weight, partition_tasks
+from repro.schedulers.hfp import balance_packages, hfp_pack
+from repro.workloads.randomgraph import random_bipartite
+
+
+@st.composite
+def taskgraph(draw):
+    n_data = draw(st.integers(3, 10))
+    n_tasks = draw(st.integers(2, 24))
+    arity = draw(st.integers(1, min(3, n_data)))
+    seed = draw(st.integers(0, 9999))
+    return random_bipartite(
+        n_tasks, n_data, arity=arity, data_size=1.0, task_flops=1.0, seed=seed
+    )
+
+
+@st.composite
+def hypergraph(draw):
+    n = draw(st.integers(4, 20))
+    n_nets = draw(st.integers(1, 25))
+    rng = random.Random(draw(st.integers(0, 9999)))
+    nets = []
+    for _ in range(n_nets):
+        size = rng.randint(2, min(4, n))
+        nets.append(tuple(rng.sample(range(n), size)))
+    weights = [float(rng.randint(1, 5)) for _ in nets]
+    return Hypergraph(n, [1.0] * n, nets, weights)
+
+
+class TestPartitionProperties:
+    @given(taskgraph(), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_parts_are_a_partition(self, graph, k):
+        res = partition_tasks(graph, k, nruns=2, rng=random.Random(0))
+        seen = sorted(t for p in res.parts for t in p)
+        assert seen == list(range(graph.n_tasks))
+        assert len(res.parts) == k
+
+    @given(taskgraph(), st.integers(2, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_cut_bytes_nonnegative_and_consistent(self, graph, k):
+        res = partition_tasks(graph, k, nruns=2, rng=random.Random(1))
+        assert res.cut_bytes >= 0
+        assert res.cut_bytes == cut_weight(graph, res.parts)
+
+    @given(hypergraph())
+    @settings(max_examples=60, deadline=None)
+    def test_fm_never_increases_cut_of_feasible_start(self, h):
+        rng = random.Random(0)
+        side = [rng.randint(0, 1) for _ in range(h.n)]
+        before = bisection_cut(h, side)
+        refined = fm_refine(h, list(side), target0=h.n / 2, tolerance=h.n / 2)
+        # tolerance = n/2 makes every assignment feasible, so the pass
+        # must be monotone in cut
+        assert bisection_cut(h, refined) <= before + 1e-9
+
+
+class TestPackingProperties:
+    @given(taskgraph(), st.integers(1, 4), st.integers(2, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_packages_partition_tasks(self, graph, k, memory):
+        packages = hfp_pack(graph, memory_bytes=float(memory), k_packages=k)
+        seen = sorted(t for p in packages for t in p)
+        assert seen == list(range(graph.n_tasks))
+        assert len(packages) == k
+
+    @given(taskgraph(), st.integers(2, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_balancing_preserves_tasks_and_improves_spread(self, graph, k):
+        packages = hfp_pack(graph, memory_bytes=6.0, k_packages=k)
+        balanced = balance_packages(packages, graph)
+        assert sorted(t for p in balanced for t in p) == list(
+            range(graph.n_tasks)
+        )
+        flops = [t.flops for t in graph.tasks]
+
+        def spread(pks):
+            loads = [sum(flops[t] for t in p) for p in pks]
+            return max(loads) - min(loads)
+
+        assert spread(balanced) <= spread(packages) + 1e-9

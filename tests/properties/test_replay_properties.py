@@ -1,0 +1,107 @@
+"""Property-based tests of the analytic replay (model invariants)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.belady import belady_loads
+from repro.core.bounds import compulsory_loads
+from repro.core.schedule import Schedule, replay_schedule, verify_live_set_recursion
+from repro.workloads.randomgraph import random_bipartite
+
+
+@st.composite
+def instance(draw, max_tasks=14, max_data=8):
+    n_data = draw(st.integers(2, max_data))
+    n_tasks = draw(st.integers(1, max_tasks))
+    arity = draw(st.integers(1, min(3, n_data)))
+    seed = draw(st.integers(0, 10_000))
+    graph = random_bipartite(
+        n_tasks, n_data, arity=arity, data_size=1.0, task_flops=1.0, seed=seed
+    )
+    capacity = draw(st.integers(arity, n_data))
+    return graph, capacity
+
+
+@st.composite
+def instance_with_schedule(draw, max_gpus=3):
+    graph, capacity = draw(instance())
+    k = draw(st.integers(1, max_gpus))
+    tasks = list(range(graph.n_tasks))
+    rng = random.Random(draw(st.integers(0, 10_000)))
+    rng.shuffle(tasks)
+    cuts = sorted(rng.randrange(len(tasks) + 1) for _ in range(k - 1))
+    order = []
+    prev = 0
+    for c in list(cuts) + [len(tasks)]:
+        order.append(tasks[prev:c])
+        prev = c
+    return graph, capacity, Schedule(order=order)
+
+
+class TestReplayInvariants:
+    @given(instance_with_schedule())
+    @settings(max_examples=120, deadline=None)
+    def test_live_set_bounded_and_recursion_consistent(self, case):
+        graph, capacity, schedule = case
+        for policy in ("lru", "fifo", "belady"):
+            res = replay_schedule(
+                graph, schedule, capacity_items=capacity, policy=policy
+            )
+            assert res.max_live <= capacity
+            verify_live_set_recursion(
+                graph, schedule, res, capacity_items=capacity
+            )
+
+    @given(instance_with_schedule())
+    @settings(max_examples=120, deadline=None)
+    def test_loads_at_least_compulsory(self, case):
+        graph, capacity, schedule = case
+        res = replay_schedule(graph, schedule, capacity_items=capacity)
+        assert res.total_loads >= compulsory_loads(graph, schedule)
+
+    @given(instance_with_schedule())
+    @settings(max_examples=120, deadline=None)
+    def test_belady_no_worse_than_online_policies(self, case):
+        graph, capacity, schedule = case
+        best = belady_loads(graph, schedule, capacity_items=capacity)
+        for policy in ("lru", "fifo"):
+            got = replay_schedule(
+                graph, schedule, capacity_items=capacity, policy=policy
+            ).total_loads
+            assert best <= got
+
+    @given(instance_with_schedule())
+    @settings(max_examples=60, deadline=None)
+    def test_replay_deterministic(self, case):
+        graph, capacity, schedule = case
+        a = replay_schedule(graph, schedule, capacity_items=capacity)
+        b = replay_schedule(graph, schedule, capacity_items=capacity)
+        assert [g.loads for g in a.gpus] == [g.loads for g in b.gpus]
+
+    @given(instance_with_schedule())
+    @settings(max_examples=60, deadline=None)
+    def test_unlimited_memory_is_compulsory_per_gpu(self, case):
+        graph, _, schedule = case
+        res = replay_schedule(graph, schedule)  # no capacity
+        assert res.total_loads == compulsory_loads(graph, schedule)
+        assert all(not g.evictions for g in res.gpus)
+
+    @given(instance_with_schedule())
+    @settings(max_examples=60, deadline=None)
+    def test_eviction_sets_disjoint_from_current_inputs(self, case):
+        graph, capacity, schedule = case
+        res = replay_schedule(graph, schedule, capacity_items=capacity)
+        for k, order in enumerate(schedule.order):
+            ev = res.gpus[k].eviction_sets()
+            for step, task in enumerate(order):
+                assert not set(ev[step]) & set(graph.inputs_of(task))
+
+    @given(instance())
+    @settings(max_examples=60, deadline=None)
+    def test_bytes_loaded_equals_loads_for_unit_data(self, case):
+        graph, capacity = case
+        schedule = Schedule.single_gpu(list(range(graph.n_tasks)))
+        res = replay_schedule(graph, schedule, capacity_items=capacity)
+        assert res.total_bytes == float(res.total_loads)

@@ -1,0 +1,136 @@
+"""Property-based tests of the discrete-event runtime.
+
+Every scheduler × eviction-policy combination must, on arbitrary
+instances: execute each task exactly once, respect the resource bounds
+(makespan ≥ compute and transfer lower bounds), keep the memory
+accounting consistent, and be reproducible under a fixed seed.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import compulsory_loads
+from repro.schedulers.registry import SCHEDULER_NAMES, make_scheduler
+from repro.simulator.runtime import simulate
+from repro.workloads.randomgraph import random_bipartite
+
+from tests.conftest import toy_platform
+
+SCHEDS = [
+    "eager",
+    "dmdar",
+    "mhfp",
+    "hmetis+r",
+    "darts",
+    "darts+luf",
+]
+
+
+@st.composite
+def sim_case(draw):
+    n_data = draw(st.integers(3, 8))
+    n_tasks = draw(st.integers(2, 18))
+    arity = draw(st.integers(1, min(3, n_data)))
+    seed = draw(st.integers(0, 9999))
+    graph = random_bipartite(
+        n_tasks, n_data, arity=arity, data_size=1.0, task_flops=1.0, seed=seed
+    )
+    memory = float(draw(st.integers(arity, n_data + 1)))
+    n_gpus = draw(st.integers(1, 3))
+    sched_name = draw(st.sampled_from(SCHEDS))
+    window = draw(st.integers(1, 3))
+    return graph, memory, n_gpus, sched_name, window, seed
+
+
+class TestSimulatorProperties:
+    @given(sim_case())
+    @settings(max_examples=100, deadline=None)
+    def test_every_task_runs_exactly_once(self, case):
+        graph, memory, n_gpus, name, window, seed = case
+        sched, eviction = make_scheduler(name)
+        result = simulate(
+            graph,
+            toy_platform(n_gpus=n_gpus, memory=memory, bandwidth=5.0),
+            sched,
+            eviction=eviction,
+            window=window,
+            seed=seed,
+        )
+        executed = sorted(t for o in result.executed_order for t in o)
+        assert executed == list(range(graph.n_tasks))
+
+    @given(sim_case())
+    @settings(max_examples=80, deadline=None)
+    def test_resource_lower_bounds_hold(self, case):
+        graph, memory, n_gpus, name, window, seed = case
+        sched, eviction = make_scheduler(name)
+        bandwidth = 5.0
+        result = simulate(
+            graph,
+            toy_platform(n_gpus=n_gpus, memory=memory, bandwidth=bandwidth),
+            sched,
+            eviction=eviction,
+            window=window,
+            seed=seed,
+        )
+        compute_lb = graph.total_flops / n_gpus  # 1 flop/s per GPU
+        transfer_lb = result.total_bytes / bandwidth
+        assert result.makespan >= compute_lb - 1e-9
+        assert result.makespan >= transfer_lb - 1e-9
+        assert result.total_loads >= compulsory_loads(graph)
+
+    @given(sim_case())
+    @settings(max_examples=60, deadline=None)
+    def test_seeded_reproducibility(self, case):
+        graph, memory, n_gpus, name, window, seed = case
+        runs = []
+        for _ in range(2):
+            sched, eviction = make_scheduler(name)
+            runs.append(
+                simulate(
+                    graph,
+                    toy_platform(n_gpus=n_gpus, memory=memory, bandwidth=5.0),
+                    sched,
+                    eviction=eviction,
+                    window=window,
+                    seed=seed,
+                )
+            )
+        assert runs[0].makespan == runs[1].makespan
+        assert runs[0].executed_order == runs[1].executed_order
+        assert runs[0].total_loads == runs[1].total_loads
+
+    @given(sim_case(), st.sampled_from(["lru", "fifo", "random", "belady", "luf"]))
+    @settings(max_examples=60, deadline=None)
+    def test_all_eviction_policies_complete(self, case, eviction):
+        graph, memory, n_gpus, name, window, seed = case
+        sched, _ = make_scheduler(name)
+        result = simulate(
+            graph,
+            toy_platform(n_gpus=n_gpus, memory=memory, bandwidth=5.0),
+            sched,
+            eviction=eviction,
+            window=window,
+            seed=seed,
+        )
+        assert sum(g.n_tasks for g in result.gpus) == graph.n_tasks
+
+    @given(sim_case())
+    @settings(max_examples=40, deadline=None)
+    def test_fair_and_fifo_bus_same_loads_structure(self, case):
+        """Bus model changes timing, not which schedulers terminate."""
+        graph, memory, n_gpus, name, window, seed = case
+        for model in ("fair", "fifo"):
+            sched, eviction = make_scheduler(name)
+            result = simulate(
+                graph,
+                toy_platform(
+                    n_gpus=n_gpus, memory=memory, bandwidth=5.0, model=model
+                ),
+                sched,
+                eviction=eviction,
+                window=window,
+                seed=seed,
+            )
+            assert sum(g.n_tasks for g in result.gpus) == graph.n_tasks

@@ -1,0 +1,91 @@
+"""Tests for DMDA / DMDAR (Algorithms 1-2)."""
+
+import pytest
+
+from repro.core.problem import TaskGraph
+from repro.schedulers.dmda import Dmda, Dmdar
+from repro.simulator.runtime import Runtime, simulate
+from repro.workloads.matmul2d import matmul2d
+
+from tests.conftest import toy_platform
+
+
+def prepared(graph, n_gpus=2, memory=50.0, bandwidth=1.0, gflops=1.0):
+    sched = Dmda()
+    rt = Runtime(
+        graph,
+        toy_platform(
+            n_gpus=n_gpus, memory=memory, bandwidth=bandwidth, gflops=gflops
+        ),
+        sched,
+    )
+    sched.prepare(rt.view)
+    return sched
+
+
+class TestAllocation:
+    def test_all_tasks_allocated_once(self, figure1_graph):
+        sched = prepared(figure1_graph)
+        alloc = sched.allocation()
+        assert sorted(t for l in alloc for t in l) == list(range(9))
+
+    def test_balances_identical_tasks(self, figure1_graph):
+        sched = prepared(figure1_graph)
+        sizes = [len(l) for l in sched.allocation()]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_affinity_data_attracts_tasks(self):
+        """Tasks sharing data gravitate to the GPU already planned to
+        hold it (comm term of Eq. 1)."""
+        g = TaskGraph()
+        a = g.add_data(10.0)
+        b = g.add_data(10.0)
+        # four tasks on datum a, four on datum b, interleaved
+        for i in range(4):
+            g.add_task([a], flops=1.0)
+            g.add_task([b], flops=1.0)
+        sched = prepared(g, n_gpus=2, bandwidth=0.1)
+        alloc = sched.allocation()
+        # all a-tasks on one GPU, all b-tasks on the other
+        groups = [{t % 2 for t in l} for l in alloc]
+        assert groups[0].isdisjoint(groups[1])
+
+    def test_first_task_goes_to_gpu0(self, figure1_graph):
+        sched = prepared(figure1_graph)
+        assert 0 in sched.allocation()[0]
+
+    def test_single_gpu_keeps_submission_order(self, figure1_graph):
+        sched = prepared(figure1_graph, n_gpus=1)
+        assert sched.allocation()[0] == list(range(9))
+
+
+class TestRuntimeBehaviour:
+    def test_dmda_executes_everything(self, figure1_graph):
+        result = simulate(
+            figure1_graph, toy_platform(n_gpus=2, memory=3.0), Dmda()
+        )
+        assert sum(g.n_tasks for g in result.gpus) == 9
+
+    def test_dmdar_executes_everything(self, figure1_graph):
+        result = simulate(
+            figure1_graph, toy_platform(n_gpus=2, memory=3.0), Dmdar()
+        )
+        assert sum(g.n_tasks for g in result.gpus) == 9
+
+    def test_ready_reduces_transfers_under_pressure(self):
+        """DMDAR's whole point: under memory pressure, picking the task
+        with resident data loads less than FIFO order."""
+        g = matmul2d(8, data_size=1.0, task_flops=1.0)
+        plat = toy_platform(n_gpus=1, memory=4.0, bandwidth=100.0)
+        plain = simulate(g, plat, Dmda(), seed=0)
+        ready = simulate(g, plat, Dmdar(), seed=0)
+        assert ready.total_loads <= plain.total_loads
+
+    def test_names(self):
+        assert Dmda().name == "DMDA"
+        assert Dmdar().name == "DMDAR"
+        assert Dmdar().use_ready and not Dmda().use_ready
+
+    def test_remaining_order_exposed(self, figure1_graph):
+        sched = prepared(figure1_graph, n_gpus=1)
+        assert list(sched.remaining_order(0)) == list(range(9))

@@ -1,0 +1,73 @@
+"""Tests for the plot-name scheduler registry."""
+
+import pytest
+
+from repro.schedulers.darts import Darts
+from repro.schedulers.registry import (
+    SCHEDULER_NAMES,
+    eviction_for,
+    make_scheduler,
+)
+
+
+class TestMakeScheduler:
+    @pytest.mark.parametrize(
+        "name,display",
+        [
+            ("eager", "EAGER"),
+            ("dmda", "DMDA"),
+            ("dmdar", "DMDAR"),
+            ("mhfp", "mHFP"),
+            ("hmetis+r", "hMETIS+R"),
+            ("darts", "DARTS"),
+            ("darts+luf", "DARTS+LUF"),
+            ("darts+luf-3inputs", "DARTS+LUF-3inputs"),
+            ("darts+luf+opti", "DARTS+LUF+OPTI"),
+            ("darts+luf+opti-3inputs", "DARTS+LUF+OPTI-3inputs"),
+        ],
+    )
+    def test_display_names_match_paper(self, name, display):
+        sched, _ = make_scheduler(name)
+        assert sched.name == display
+
+    def test_names_case_insensitive(self):
+        sched, _ = make_scheduler("DARTS+LUF")
+        assert sched.name == "DARTS+LUF"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("hfs+")
+
+    def test_luf_paired_with_darts_luf_only(self):
+        assert eviction_for("darts+luf") == "luf"
+        assert eviction_for("darts+luf-3inputs") == "luf"
+        assert eviction_for("darts") == "lru"
+        assert eviction_for("dmdar") == "lru"
+        assert eviction_for("eager") == "lru"
+
+    def test_threshold_suffix(self):
+        sched, ev = make_scheduler("darts+luf+threshold")
+        assert isinstance(sched, Darts)
+        assert sched.threshold == 10
+        assert ev == "luf"
+        assert sched.name.endswith("+threshold")
+
+    def test_threshold_value_override(self):
+        sched, _ = make_scheduler("darts+luf+threshold", threshold=3)
+        assert sched.threshold == 3
+
+    def test_threshold_on_non_darts_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            make_scheduler("dmdar", threshold=5)
+
+    def test_variant_flags_wired(self):
+        sched, _ = make_scheduler("darts+luf+opti-3inputs")
+        assert sched.opti and sched.three_inputs
+
+    def test_registry_lists_threshold_alias(self):
+        assert "darts+luf+threshold" in SCHEDULER_NAMES
+
+    def test_fresh_instance_each_call(self):
+        a, _ = make_scheduler("eager")
+        b, _ = make_scheduler("eager")
+        assert a is not b

@@ -1,0 +1,108 @@
+"""Tests for the discrete-event core."""
+
+import pytest
+
+from repro.simulator.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        eng = SimulationEngine()
+        log = []
+        eng.schedule(3.0, lambda: log.append("c"))
+        eng.schedule(1.0, lambda: log.append("a"))
+        eng.schedule(2.0, lambda: log.append("b"))
+        eng.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        eng = SimulationEngine()
+        log = []
+        for name in "abc":
+            eng.schedule(1.0, lambda n=name: log.append(n))
+        eng.run()
+        assert log == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.schedule(2.5, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [2.5]
+        assert eng.now == 2.5
+
+    def test_nested_scheduling_from_callback(self):
+        eng = SimulationEngine()
+        log = []
+        def first():
+            log.append(("first", eng.now))
+            eng.schedule(1.0, lambda: log.append(("second", eng.now)))
+        eng.schedule(1.0, first)
+        eng.run()
+        assert log == [("first", 1.0), ("second", 2.0)]
+
+    def test_negative_delay_rejected(self):
+        eng = SimulationEngine()
+        with pytest.raises(ValueError):
+            eng.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        eng = SimulationEngine()
+        eng.schedule(5.0, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.schedule_at(1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        eng = SimulationEngine()
+        log = []
+        h = eng.schedule(1.0, lambda: log.append("x"))
+        h.cancel()
+        eng.run()
+        assert log == []
+        assert h.cancelled
+
+    def test_cancel_is_idempotent(self):
+        eng = SimulationEngine()
+        h = eng.schedule(1.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        eng.run()
+
+    def test_pending_ignores_cancelled(self):
+        eng = SimulationEngine()
+        h1 = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert eng.pending == 1
+
+
+class TestRun:
+    def test_run_until_stops_clock(self):
+        eng = SimulationEngine()
+        log = []
+        eng.schedule(1.0, lambda: log.append(1))
+        eng.schedule(10.0, lambda: log.append(2))
+        eng.run(until=5.0)
+        assert log == [1]
+        assert eng.now == 5.0
+
+    def test_step_returns_false_when_empty(self):
+        assert SimulationEngine().step() is False
+
+    def test_runaway_guard(self):
+        eng = SimulationEngine()
+        def respawn():
+            eng.schedule(0.0, respawn)
+        eng.schedule(0.0, respawn)
+        with pytest.raises(RuntimeError, match="events"):
+            eng.run(max_events=1000)
+
+    def test_events_fired_counter(self):
+        eng = SimulationEngine()
+        for _ in range(3):
+            eng.schedule(1.0, lambda: None)
+        eng.run()
+        assert eng.events_fired == 3
