@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.check``."""
+
+import sys
+
+from repro.check.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

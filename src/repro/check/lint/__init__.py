@@ -1,0 +1,30 @@
+"""Static AST linter for determinism and API conformance.
+
+See :mod:`repro.check.lint.framework` for the rule machinery and
+:mod:`repro.check.lint.rules` for the concrete rule set.
+"""
+
+from repro.check.lint.framework import (
+    LintViolation,
+    Linter,
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    all_rules,
+    parse_noqa,
+    register,
+)
+from repro.check.lint.reporters import json_report, text_report
+
+__all__ = [
+    "LintViolation",
+    "Linter",
+    "ModuleContext",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "parse_noqa",
+    "register",
+    "json_report",
+    "text_report",
+]

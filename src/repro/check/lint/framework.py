@@ -1,0 +1,200 @@
+"""Tiny AST lint framework: rules, suppressions, and the driver.
+
+Rules come in two flavours:
+
+* **AST rules** subclass :class:`Rule` and implement
+  :meth:`Rule.check_module`, yielding violations for one parsed module;
+* **project rules** subclass :class:`ProjectRule` and implement
+  :meth:`ProjectRule.check_project`, which sees the package root once
+  (used for import-based conformance checks such as the scheduler
+  registry audit).
+
+Violations carry a stable rule ``code`` (``DET001``, ``API002``, ...).
+A line can opt out of specific rules with a trailing comment::
+
+    t0 = time.time()  # repro: noqa[DET002]
+
+or out of everything with ``# repro: noqa``.  Suppressions are scoped to
+the physical line the violation is reported on.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule hit at a source location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class ModuleContext:
+    """Everything an AST rule may look at for one module."""
+
+    path: Path
+    #: dotted module name relative to the package root, e.g.
+    #: ``repro.simulator.runtime`` (best effort; '' when unresolvable)
+    module: str
+    tree: ast.Module
+    source_lines: Sequence[str]
+    #: line number -> suppressed rule codes ('*' suppresses everything)
+    noqa: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        codes = self.noqa.get(line)
+        if codes is None:
+            return False
+        return "*" in codes or code in codes
+
+
+def parse_noqa(source_lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Collect ``# repro: noqa[...]`` suppressions per physical line."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source_lines, 1):
+        m = _NOQA_RE.search(text)
+        if m is None:
+            continue
+        raw = m.group("codes")
+        if raw is None:
+            out[lineno] = {"*"}
+        else:
+            out[lineno] = {c.strip().upper() for c in raw.split(",") if c.strip()}
+    return out
+
+
+class Rule:
+    """Base class for per-module AST rules."""
+
+    #: stable identifier, e.g. ``DET001``
+    code: str = "XXX000"
+    #: short human name
+    name: str = "abstract"
+    #: one-line description shown by ``--list-rules``
+    description: str = ""
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[LintViolation]:
+        raise NotImplementedError
+
+    def violation(
+        self, ctx: ModuleContext, node: ast.AST, message: str
+    ) -> LintViolation:
+        return LintViolation(
+            code=self.code,
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """Whole-project rule (import-based conformance audits)."""
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[LintViolation]:
+        return iter(())
+
+    def check_project(self, root: Path) -> Iterator[LintViolation]:
+        raise NotImplementedError
+
+
+_REGISTRY: List[Type[Rule]] = []
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the default rule set."""
+    if any(existing.code == cls.code for existing in _REGISTRY):
+        raise ValueError(f"duplicate rule code {cls.code!r}")
+    _REGISTRY.append(cls)
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in registration order."""
+    import repro.check.lint.rules  # noqa: F401  (populates the registry)
+
+    return [cls() for cls in _REGISTRY]
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module path relative to the nearest ``repro`` ancestor."""
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class Linter:
+    """Run a rule set over files or directory trees."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        self.rules: List[Rule] = list(rules) if rules is not None else all_rules()
+
+    def lint_file(self, path: Path) -> List[LintViolation]:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [
+                LintViolation(
+                    code="SYN000",
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    message=f"syntax error: {exc.msg}",
+                )
+            ]
+        lines = source.splitlines()
+        ctx = ModuleContext(
+            path=path,
+            module=_module_name(path),
+            tree=tree,
+            source_lines=lines,
+            noqa=parse_noqa(lines),
+        )
+        out: List[LintViolation] = []
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                continue
+            for v in rule.check_module(ctx):
+                if not ctx.is_suppressed(v.code, v.line):
+                    out.append(v)
+        return out
+
+    def lint_paths(self, paths: Iterable[Path]) -> List[LintViolation]:
+        """Lint files and/or directory trees; project rules run once."""
+        out: List[LintViolation] = []
+        roots: List[Path] = []
+        for p in paths:
+            p = Path(p)
+            if p.is_dir():
+                roots.append(p)
+                for f in sorted(p.rglob("*.py")):
+                    out.extend(self.lint_file(f))
+            else:
+                out.extend(self.lint_file(p))
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                for root in roots or [Path(".")]:
+                    out.extend(rule.check_project(root))
+        out.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+        return out

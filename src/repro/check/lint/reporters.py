@@ -1,0 +1,38 @@
+"""Render lint violations for humans (text) or machines (JSON)."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Sequence
+
+from repro.check.lint.framework import LintViolation
+
+
+def text_report(violations: Sequence[LintViolation]) -> str:
+    """One line per violation plus a per-code summary."""
+    if not violations:
+        return "repro.check lint: no violations"
+    lines: List[str] = [v.format() for v in violations]
+    counts = Counter(v.code for v in violations)
+    summary = ", ".join(f"{code}×{n}" for code, n in sorted(counts.items()))
+    lines.append(f"repro.check lint: {len(violations)} violation(s) ({summary})")
+    return "\n".join(lines)
+
+
+def json_report(violations: Sequence[LintViolation]) -> str:
+    """Machine-readable report (one object per violation)."""
+    payload = {
+        "violations": [
+            {
+                "code": v.code,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+        "count": len(violations),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,485 @@
+"""Concrete lint rules encoding this repo's determinism and API contracts.
+
+Determinism rules (``DET``)
+    DET001  unseeded ``random`` / ``numpy.random`` use
+    DET002  wall-clock reads in simulated code paths
+    DET003  order-sensitive iteration over unordered containers
+    DET004  ``==`` / ``!=`` on simulated float times
+
+API-conformance rules (``API``, project-wide, import-based)
+    API001  scheduler registry entries must be ``Scheduler`` subclasses
+            implementing ``next_task``
+    API002  eviction policies must implement the ``EvictionPolicy`` API
+
+The determinism rules exist because every figure in the paper's
+evaluation rests on "same seed ⇒ same trace" (DESIGN.md decision 5):
+one wall-clock read or one iteration over a ``set`` feeding a
+scheduling decision silently breaks bit-identical replay.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.check.lint.framework import (
+    LintViolation,
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    register,
+)
+
+#: packages whose code runs *inside* the simulated world — anything
+#: nondeterministic here changes simulation results, not just logging
+SIMULATED_PACKAGES: Tuple[str, ...] = (
+    "repro.simulator",
+    "repro.schedulers",
+    "repro.eviction",
+    "repro.core",
+    "repro.dag",
+    "repro.workloads",
+    "repro.platform",
+    "repro.partitioning",
+)
+
+#: modules allowed to read ``time.perf_counter`` — the scheduling-cost
+#: wall-clock measurement sites (a diagnostic, never fed back into the
+#: simulation; see ``RunResult.decision_wall_time``)
+PERF_COUNTER_WHITELIST: Tuple[str, ...] = ("repro.simulator.runtime",)
+
+
+def _in_simulated_path(module: str) -> bool:
+    return any(
+        module == pkg or module.startswith(pkg + ".")
+        for pkg in SIMULATED_PACKAGES
+    )
+
+
+def _import_aliases(tree: ast.Module, target: str) -> Set[str]:
+    """Local names bound to module ``target`` by ``import`` statements."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == target:
+                    names.add(alias.asname or alias.name.split(".")[0])
+    return names
+
+
+def _from_imports(tree: ast.Module, module: str) -> Dict[str, str]:
+    """``{local_name: original_name}`` for ``from module import ...``."""
+    out: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                out[alias.asname or alias.name] = alias.name
+    return out
+
+
+@register
+class UnseededRandomRule(Rule):
+    """DET001: module-level randomness is forbidden; seed an instance.
+
+    ``random.random()``, ``random.choice()``, ... draw from the shared
+    module-level generator whose state depends on everything else that
+    ran in the process — two runs with the same simulation seed diverge.
+    Use ``random.Random(seed)`` (or pass ``rng``) instead.  The same goes
+    for ``numpy.random.*`` legacy functions; use ``default_rng(seed)``.
+    """
+
+    code = "DET001"
+    name = "unseeded-random"
+    description = (
+        "no module-level random/numpy.random calls; use random.Random(seed)"
+    )
+
+    _NUMPY_OK = {"default_rng", "Generator", "RandomState", "SeedSequence"}
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[LintViolation]:
+        random_aliases = _import_aliases(ctx.tree, "random")
+        from_random = _from_imports(ctx.tree, "random")
+        numpy_aliases = _import_aliases(ctx.tree, "numpy") | _import_aliases(
+            ctx.tree, "numpy.random"
+        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            # random.<fn>(...) via the module object
+            if (
+                isinstance(fn, ast.Attribute)
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id in random_aliases
+            ):
+                if fn.attr == "Random":
+                    if not node.args and not node.keywords:
+                        yield self.violation(
+                            ctx, node, "random.Random() without a seed"
+                        )
+                else:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"call to module-level random.{fn.attr}(); "
+                        "use a seeded random.Random instance",
+                    )
+            # from random import shuffle; shuffle(...)
+            elif isinstance(fn, ast.Name) and fn.id in from_random:
+                original = from_random[fn.id]
+                if original != "Random":
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"call to module-level random.{original}(); "
+                        "use a seeded random.Random instance",
+                    )
+            # numpy.random.<fn>(...) / np.random.<fn>(...)
+            elif (
+                isinstance(fn, ast.Attribute)
+                and isinstance(fn.value, ast.Attribute)
+                and fn.value.attr == "random"
+                and isinstance(fn.value.value, ast.Name)
+                and fn.value.value.id in numpy_aliases
+                and fn.attr not in self._NUMPY_OK
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"call to numpy.random.{fn.attr}(); "
+                    "use numpy.random.default_rng(seed)",
+                )
+
+
+@register
+class WallClockRule(Rule):
+    """DET002: wall-clock reads make simulated results time-dependent.
+
+    ``time.time()`` / ``datetime.now()`` are forbidden everywhere in the
+    package (measure elapsed wall time with ``time.perf_counter()``);
+    ``perf_counter`` itself is additionally forbidden inside simulated
+    code paths, except the whitelisted scheduling-cost measurement sites
+    in ``repro.simulator.runtime``.
+    """
+
+    code = "DET002"
+    name = "wall-clock"
+    description = (
+        "no time.time()/datetime.now(); perf_counter only outside "
+        "simulated paths (runtime.py whitelisted)"
+    )
+
+    _BANNED_TIME = {"time", "time_ns", "clock"}
+    _PERF = {"perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns"}
+    _BANNED_DATETIME = {"now", "utcnow", "today"}
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[LintViolation]:
+        time_aliases = _import_aliases(ctx.tree, "time")
+        from_time = _from_imports(ctx.tree, "time")
+        datetime_aliases = _import_aliases(ctx.tree, "datetime")
+        from_datetime = _from_imports(ctx.tree, "datetime")
+        simulated = _in_simulated_path(ctx.module)
+        perf_ok = not simulated or ctx.module in PERF_COUNTER_WHITELIST
+
+        def classify(fn: ast.expr) -> Optional[str]:
+            """Return the offending function name, or None."""
+            if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+                base, attr = fn.value.id, fn.attr
+                if base in time_aliases:
+                    if attr in self._BANNED_TIME:
+                        return f"time.{attr}"
+                    if attr in self._PERF and not perf_ok:
+                        return f"time.{attr}"
+                # datetime.datetime.now() has an Attribute base; handle
+                # the common `from datetime import datetime` form here.
+                if (
+                    base in from_datetime
+                    and from_datetime[base] in {"datetime", "date"}
+                    and attr in self._BANNED_DATETIME
+                ):
+                    return f"datetime.{attr}"
+            if (
+                isinstance(fn, ast.Attribute)
+                and isinstance(fn.value, ast.Attribute)
+                and isinstance(fn.value.value, ast.Name)
+                and fn.value.value.id in datetime_aliases
+                and fn.value.attr in {"datetime", "date"}
+                and fn.attr in self._BANNED_DATETIME
+            ):
+                return f"datetime.{fn.value.attr}.{fn.attr}"
+            if isinstance(fn, ast.Name) and fn.id in from_time:
+                original = from_time[fn.id]
+                if original in self._BANNED_TIME:
+                    return f"time.{original}"
+                if original in self._PERF and not perf_ok:
+                    return f"time.{original}"
+            return None
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            offender = classify(node.func)
+            if offender is None:
+                continue
+            if offender.startswith("time.") and offender.split(".")[1] in self._PERF:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{offender}() inside a simulated code path; wall time "
+                    "must not leak into simulation state (whitelist: "
+                    + ", ".join(PERF_COUNTER_WHITELIST)
+                    + ")",
+                )
+            else:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{offender}() reads the wall clock; use "
+                    "time.perf_counter() for elapsed-time measurement "
+                    "outside simulated paths",
+                )
+
+
+#: DeviceMemory / RuntimeView methods documented to return sets
+_SET_RETURNING_METHODS = {
+    "present",
+    "held",
+    "evictable",
+    "present_set",
+    "held_set",
+    "fetching_set",
+}
+
+#: builtins whose result does not depend on argument iteration order
+_ORDER_INSENSITIVE = {
+    "sorted",
+    "min",
+    "max",
+    "sum",
+    "len",
+    "any",
+    "all",
+    "set",
+    "frozenset",
+}
+
+
+def _is_set_annotation(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr in {"Set", "FrozenSet", "AbstractSet", "MutableSet"}
+    if isinstance(node, ast.Name):
+        return node.id in {
+            "Set",
+            "FrozenSet",
+            "AbstractSet",
+            "MutableSet",
+            "set",
+            "frozenset",
+        }
+    return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """DET003: iteration order over a ``set`` must not reach decisions.
+
+    CPython set iteration order depends on insertion history and hash
+    randomization of the running build; a scheduling decision derived
+    from it (first element, ``rng.choice`` over an unsorted listing, ...)
+    is not reproducible across platforms.  Wrap the iterable in
+    ``sorted(...)`` or reduce it with an order-insensitive builtin.
+    Only order-*sensitive* positions are flagged: ``for`` statements,
+    ``list`` comprehensions, and ``list()``/``tuple()`` conversions.
+    Set/dict comprehensions and ``sorted``/``min``/``max``/``sum``/
+    ``any``/``all`` reductions are fine.
+    """
+
+    code = "DET003"
+    name = "unordered-iteration"
+    description = (
+        "no order-sensitive iteration over sets in scheduling decisions"
+    )
+
+    def _set_params(self, tree: ast.Module) -> Dict[ast.AST, Set[str]]:
+        """Per-function names of parameters annotated as sets."""
+        out: Dict[ast.AST, Set[str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = list(node.args.args) + list(node.args.kwonlyargs)
+                names = {
+                    a.arg for a in args if _is_set_annotation(a.annotation)
+                }
+                if names:
+                    out[node] = names
+        return out
+
+    def _is_set_like(
+        self, expr: ast.expr, enclosing_set_params: Set[str]
+    ) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call):
+            fn = expr.func
+            if isinstance(fn, ast.Name) and fn.id in {"set", "frozenset"}:
+                return True
+            if (
+                isinstance(fn, ast.Attribute)
+                and fn.attr in _SET_RETURNING_METHODS
+            ):
+                return True
+        if isinstance(expr, ast.Name) and expr.id in enclosing_set_params:
+            return True
+        return False
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[LintViolation]:
+        set_params = self._set_params(ctx.tree)
+        parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(ctx.tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+
+        def enclosing_params(node: ast.AST) -> Set[str]:
+            cur: Optional[ast.AST] = node
+            while cur is not None:
+                if cur in set_params:
+                    return set_params[cur]
+                cur = parents.get(cur)
+            return set()
+
+        def flag(node: ast.AST, expr: ast.expr, what: str) -> LintViolation:
+            return self.violation(
+                ctx,
+                node,
+                f"{what} iterates a set in an order-sensitive position; "
+                "wrap it in sorted(...) for deterministic order",
+            )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For) and self._is_set_like(
+                node.iter, enclosing_params(node)
+            ):
+                yield flag(node, node.iter, "for statement")
+            elif isinstance(node, ast.ListComp):
+                for gen in node.generators:
+                    if self._is_set_like(gen.iter, enclosing_params(node)):
+                        yield flag(node, gen.iter, "list comprehension")
+            elif isinstance(node, ast.GeneratorExp):
+                parent = parents.get(node)
+                if (
+                    isinstance(parent, ast.Call)
+                    and isinstance(parent.func, ast.Name)
+                    and parent.func.id in _ORDER_INSENSITIVE
+                ):
+                    continue
+                for gen in node.generators:
+                    if self._is_set_like(gen.iter, enclosing_params(node)):
+                        yield flag(node, gen.iter, "generator expression")
+            elif isinstance(node, ast.Call):
+                fn = node.func
+                if (
+                    isinstance(fn, ast.Name)
+                    and fn.id in {"list", "tuple"}
+                    and node.args
+                    and self._is_set_like(
+                        node.args[0], enclosing_params(node)
+                    )
+                ):
+                    yield flag(node, node.args[0], f"{fn.id}() conversion")
+
+
+@register
+class FloatTimeEqualityRule(Rule):
+    """DET004: simulated times are floats; ``==`` on them is fragile.
+
+    Virtual timestamps accumulate floating-point error (bus fair-sharing
+    divides bandwidth, durations add); exact equality silently flips with
+    any model change.  Compare with a tolerance, or order events with
+    ``<=`` / heap sequence numbers.
+    """
+
+    code = "DET004"
+    name = "float-time-equality"
+    description = "no ==/!= comparisons of simulated float times"
+
+    _TIME_NAMES = {"now", "makespan", "time"}
+
+    def _is_time_operand(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Attribute):
+            return node.attr in self._TIME_NAMES or node.attr.endswith("_time")
+        if isinstance(node, ast.Name):
+            return node.id in self._TIME_NAMES or node.id.endswith("_time")
+        return False
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[LintViolation]:
+        if not _in_simulated_path(ctx.module):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._is_time_operand(left) or self._is_time_operand(right):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "==/!= on a simulated float time; compare with a "
+                        "tolerance or order via the event heap",
+                    )
+
+
+def _find_source(root: Path, rel: str) -> str:
+    cand = root / rel
+    if cand.exists():
+        return str(cand)
+    return rel
+
+
+@register
+class SchedulerRegistryRule(ProjectRule):
+    """API001: every registry name must build a conforming Scheduler."""
+
+    code = "API001"
+    name = "scheduler-registry"
+    description = (
+        "registry names must resolve to Scheduler subclasses "
+        "implementing next_task"
+    )
+
+    def check_project(self, root: Path) -> Iterator[LintViolation]:
+        from repro.schedulers import registry
+
+        path = _find_source(root, "repro/schedulers/registry.py")
+        for problem in registry.validate_registry():
+            yield LintViolation(
+                code=self.code, path=path, line=1, col=1, message=problem
+            )
+
+
+@register
+class EvictionPolicyRule(ProjectRule):
+    """API002: every eviction policy must implement the base API."""
+
+    code = "API002"
+    name = "eviction-policy-api"
+    description = "eviction policies must implement the EvictionPolicy API"
+
+    def check_project(self, root: Path) -> Iterator[LintViolation]:
+        import repro.eviction as ev
+        from repro.eviction.base import validate_policy_class
+
+        path = _find_source(root, "repro/eviction/base.py")
+        problems: List[str] = []
+        for name in sorted(ev._BY_NAME):
+            problems.extend(validate_policy_class(ev._BY_NAME[name], name))
+        for problem in problems:
+            yield LintViolation(
+                code=self.code, path=path, line=1, col=1, message=problem
+            )

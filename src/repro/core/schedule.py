@@ -148,7 +148,12 @@ class LruReplay(ReplayPolicy):
     def on_evict(self, data_id: int, step: int) -> None:
         self._stamp.pop(data_id, None)
 
-    def choose_victim(self, candidates, step, future):
+    def choose_victim(
+        self,
+        candidates: Set[int],
+        step: int,
+        future: Sequence[Tuple[int, ...]],
+    ) -> int:
         return min(candidates, key=lambda d: (self._stamp.get(d, -1), d))
 
 
@@ -172,7 +177,12 @@ class FifoReplay(ReplayPolicy):
     def on_evict(self, data_id: int, step: int) -> None:
         self._loaded_at.pop(data_id, None)
 
-    def choose_victim(self, candidates, step, future):
+    def choose_victim(
+        self,
+        candidates: Set[int],
+        step: int,
+        future: Sequence[Tuple[int, ...]],
+    ) -> int:
         return min(candidates, key=lambda d: (self._loaded_at.get(d, -1), d))
 
 
@@ -185,7 +195,12 @@ class BeladyReplay(ReplayPolicy):
 
     name = "belady"
 
-    def choose_victim(self, candidates, step, future):
+    def choose_victim(
+        self,
+        candidates: Set[int],
+        step: int,
+        future: Sequence[Tuple[int, ...]],
+    ) -> int:
         best_d = -1
         best_dist = -1
         for d in sorted(candidates):

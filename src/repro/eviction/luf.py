@@ -28,7 +28,9 @@ class LufPolicy(EvictionPolicy):
 
     name = "luf"
 
-    def _counts(self, candidates: Set[int]) -> Tuple[Dict[int, int], Dict[int, int], List[int]]:
+    def _counts(
+        self, candidates: Set[int]
+    ) -> Tuple[Dict[int, int], Dict[int, int], List[int]]:
         assert self.view is not None
         graph = self.view.graph
         buffer = self.view.task_buffer(self.gpu)
@@ -51,7 +53,7 @@ class LufPolicy(EvictionPolicy):
 
     def choose_victim(self, candidates: Set[int]) -> int:
         nb, np_, buffer = self._counts(candidates)
-        unused = [d for d in candidates if nb[d] == 0]
+        unused = [d for d in sorted(candidates) if nb[d] == 0]
         if unused:
             return min(unused, key=lambda d: (np_[d], d))
         # Belady fallback over the task buffer (rarely reached, per paper).

@@ -59,14 +59,14 @@ def main(argv: List[str] = None) -> int:
         print(f"== {fid}: {config.title} ==")
         if config.notes:
             print(f"   {config.notes}")
-        t0 = time.time()
+        t0 = time.perf_counter()
         sweep = run_figure(
             fid, scale=args.scale, verbose=args.verbose, points=args.points
         )
         print(format_series_table(sweep, metric=config.metric))
         if args.plot:
             print(ascii_plot(sweep, metric=config.metric))
-        print(f"   [{time.time() - t0:.1f}s]\n")
+        print(f"   [{time.perf_counter() - t0:.1f}s]\n")
     return 0
 
 

@@ -182,7 +182,7 @@ class Darts(Scheduler):
         if len(candidates) == 1:
             return candidates[0]
         best = max(self._remaining_users[d] for d in candidates)
-        top = [d for d in candidates if self._remaining_users[d] == best]
+        top = sorted(d for d in candidates if self._remaining_users[d] == best)
         return top[0] if len(top) == 1 else self._rng.choice(top)
 
     def _best_two_load_task(

@@ -82,6 +82,46 @@ def make_scheduler(
     return sched, eviction_for(base)
 
 
+def validate_registry() -> list:
+    """Audit the factory table against the :class:`Scheduler` contract.
+
+    Returns a list of problem strings (empty when conformant).  Used by
+    the ``API001`` rule of ``python -m repro.check``: every registered
+    name must build a :class:`Scheduler` subclass that overrides
+    :meth:`Scheduler.next_task` and carries a display name.
+    """
+    problems = []
+    for name in sorted(_FACTORIES):
+        try:
+            sched, eviction = make_scheduler(name)
+        except Exception as exc:  # pragma: no cover - registry bug
+            problems.append(f"registry name {name!r} failed to build: {exc}")
+            continue
+        if not isinstance(sched, Scheduler):
+            problems.append(
+                f"registry name {name!r} built {type(sched).__name__}, "
+                "which is not a Scheduler subclass"
+            )
+            continue
+        if type(sched).next_task is Scheduler.next_task:
+            problems.append(
+                f"registry name {name!r} ({type(sched).__name__}) does not "
+                "implement next_task()"
+            )
+        if not sched.name or sched.name == "abstract":
+            problems.append(
+                f"registry name {name!r} has no display name"
+            )
+        from repro.eviction import POLICY_NAMES
+
+        if eviction not in POLICY_NAMES:
+            problems.append(
+                f"registry name {name!r} pairs unknown eviction policy "
+                f"{eviction!r}"
+            )
+    return problems
+
+
 _DISPLAY = {
     "eager": "EAGER",
     "dmda": "DMDA",

@@ -45,6 +45,9 @@ class Bus:
         self.bytes_transferred: float = 0.0
         self.bytes_to: Dict[int, float] = {}
         self.n_transfers: int = 0
+        #: optional sanitizer observing completions (duck-typed: any
+        #: object with ``on_transfer(bus, now)``); None in normal runs
+        self.observer: Optional[object] = None
 
     def submit(
         self,
@@ -68,6 +71,8 @@ class Bus:
         self.bytes_transferred += t.size
         self.bytes_to[t.dst] = self.bytes_to.get(t.dst, 0.0) + t.size
         self.n_transfers += 1
+        if self.observer is not None:
+            self.observer.on_transfer(self, self.engine.now)
 
 
 class FairShareBus(Bus):

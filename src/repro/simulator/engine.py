@@ -50,6 +50,9 @@ class SimulationEngine:
         self._heap: List[_Entry] = []
         self._seq = 0
         self._events_fired = 0
+        #: optional sanitizer observing event times (duck-typed: any
+        #: object with ``on_event(time, now)``); None in normal runs
+        self.observer: Optional[object] = None
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` at ``now + delay``.  ``delay`` must be ≥ 0."""
@@ -72,6 +75,8 @@ class SimulationEngine:
             entry = heapq.heappop(self._heap)
             if entry.cancelled:
                 continue
+            if self.observer is not None:
+                self.observer.on_event(entry.time, self.now)
             self.now = entry.time
             self._events_fired += 1
             entry.callback()

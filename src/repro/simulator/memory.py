@@ -83,6 +83,7 @@ class DeviceMemory:
         on_evicted: Optional[Callable[[int, int], None]] = None,
         on_fetch_start: Optional[Callable[[int, int], None]] = None,
         data_available: Optional[Callable[[int], bool]] = None,
+        sanitizer: Optional[object] = None,
     ) -> None:
         if capacity_bytes <= 0:
             raise ValueError("capacity must be positive")
@@ -98,6 +99,9 @@ class DeviceMemory:
         #: whether a datum can currently be fetched at all (produced
         #: data are unavailable until written back or peer-resident)
         self._data_available = data_available
+        #: optional invariant checker (duck-typed Sanitizer); notified on
+        #: every accounting change and attempted eviction
+        self.sanitizer = sanitizer
         self._state: Dict[int, DataState] = {}
         self._pins: Dict[int, int] = {}
         self.used: float = 0.0
@@ -220,6 +224,7 @@ class DeviceMemory:
             self._pending_set.discard(d)
             self._state[d] = DataState.FETCHING
             self.used += self.sizes[d]
+            self._sanitize_usage()
             if self._on_fetch_start is not None:
                 self._on_fetch_start(self.gpu, d)
             self.bus.submit(
@@ -247,6 +252,7 @@ class DeviceMemory:
             return False
         self._state[d] = DataState.ALLOCATED
         self.used += self.sizes[d]
+        self._sanitize_usage()
         self.pin(d)
         return True
 
@@ -273,12 +279,17 @@ class DeviceMemory:
 
     def evict(self, d: int) -> None:
         """Drop present, unpinned datum ``d`` (no write-back)."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_evict(
+                self.gpu, d, self.is_pinned(d), self.engine.now
+            )
         if self._state.get(d) is not DataState.PRESENT:
             raise ValueError(f"cannot evict non-present datum {d}")
         if self.is_pinned(d):
             raise ValueError(f"cannot evict pinned datum {d}")
         del self._state[d]
         self.used -= self.sizes[d]
+        self._sanitize_usage()
         self.n_evictions += 1
         self.policy.on_evict(d)
         if self._on_evicted is not None:
@@ -292,6 +303,12 @@ class DeviceMemory:
         self.policy.on_insert(d)
         self._drain_pending()
         self._on_data_ready(self.gpu, d)
+
+    def _sanitize_usage(self) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.on_memory_update(
+                self.gpu, self.used, self.capacity, self.engine.now
+            )
 
     # ------------------------------------------------------------------
     # diagnostics

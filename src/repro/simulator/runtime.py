@@ -19,14 +19,15 @@ import random
 import time as _time
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Optional, Set, Union
+from typing import Callable, Deque, Dict, List, Optional, Set, Union
 
 from repro.core.problem import TaskGraph
 from repro.platform.spec import PlatformSpec
 from repro.schedulers.base import Scheduler
 from repro.simulator.bus import make_bus
-from repro.simulator.engine import SimulationEngine
+from repro.simulator.engine import EventHandle, SimulationEngine
 from repro.simulator.memory import DeviceMemory, MemoryFullError
+from repro.simulator.sanitizer import Sanitizer, is_enabled as _sanitizer_enabled
 from repro.simulator.trace import GpuStats, RunResult, TraceRecorder
 
 
@@ -111,7 +112,7 @@ class _Worker:
     #: decisions execute sequentially on it
     sched_free_at: float = 0.0
     #: pending wake-up for a decision-gated head task
-    gate_event: Optional[object] = None
+    gate_event: Optional[EventHandle] = None
 
 
 class Runtime:
@@ -128,6 +129,7 @@ class Runtime:
         record_trace: bool = False,
         decision_op_cost: float = 5e-8,
         dependencies: Optional[object] = None,
+        sanitize: Union[None, bool, Sanitizer] = None,
     ) -> None:
         if window < 1:
             raise ValueError("task buffer window must be >= 1")
@@ -138,14 +140,26 @@ class Runtime:
         self.scheduler = scheduler
         self.window = window
         self.rng = random.Random(seed)
+        # Invariant sanitizer: explicit instance > explicit bool > the
+        # module-level switch (turned on for the whole test suite).
+        self.sanitizer: Optional[Sanitizer]
+        if isinstance(sanitize, Sanitizer):
+            self.sanitizer = sanitize
+        else:
+            wanted = _sanitizer_enabled() if sanitize is None else sanitize
+            self.sanitizer = Sanitizer() if wanted else None
         self.engine = SimulationEngine()
+        self.engine.observer = self.sanitizer
         self.bus = make_bus(self.engine, platform.bus)
+        self.bus.observer = self.sanitizer
         # PCIe is full duplex: device→host write-backs (the output
         # extension) ride their own channel and overlap with fetches —
         # the paper's "transferred concurrently with data input".
         self.store_bus = (
             make_bus(self.engine, platform.bus) if graph.has_outputs else None
         )
+        if self.store_bus is not None:
+            self.store_bus.observer = self.sanitizer
         self.fabric = None
         if platform.peer_link is not None:
             from repro.simulator.fabric import PeerFabric
@@ -189,6 +203,7 @@ class Runtime:
                     data_available=(
                         self._is_data_available if graph.has_outputs else None
                     ),
+                    sanitizer=self.sanitizer,
                 )
             )
 
@@ -216,7 +231,7 @@ class Runtime:
             self.dependencies = dependencies
             self._indegree = dependencies.indegrees()
         #: virtual start gate per popped task (decision pipeline)
-        self._task_gate: dict = {}
+        self._task_gate: Dict[int, float] = {}
         self._virtual_decision_time = 0.0
         if graph.has_outputs:
             self._validate_producer_consumer()
@@ -244,6 +259,8 @@ class Runtime:
             self._raise_deadlock()
         for mem in self.memories:
             mem.check_invariants()
+        if self.sanitizer is not None:
+            self.sanitizer.after_run(self)
 
         result = RunResult(
             scheduler=self.scheduler.name,
@@ -256,6 +273,7 @@ class Runtime:
             decision_wall_time=self._decision_time,
             virtual_decision_time=self._virtual_decision_time,
             trace=self.trace if self.trace.enabled else None,
+            trace_digest=self.trace.digest() if self.trace.enabled else None,
             executed_order=self.executed_order,
         )
         for k, mem in enumerate(self.memories):
@@ -375,6 +393,10 @@ class Runtime:
         for d in inputs:
             mem.touch(d)
             mem.pin(d)
+        if self.sanitizer is not None:
+            self.sanitizer.on_task_start(
+                gpu, head, inputs, mem, self.engine.now
+            )
         duration = self.graph.tasks[head].flops / (
             self.platform.gpus[gpu].gflops * 1e9
         )
@@ -500,6 +522,7 @@ def simulate(
     record_trace: bool = False,
     decision_op_cost: float = 5e-8,
     dependencies: Optional[object] = None,
+    sanitize: Union[None, bool, Sanitizer] = None,
 ) -> RunResult:
     """Run ``graph`` on ``platform`` under ``scheduler`` and return stats.
 
@@ -511,6 +534,9 @@ def simulate(
     decision latency (0 disables decision-cost modelling).
     ``dependencies`` is a :class:`repro.dag.DependencySet` (or an edge
     list); tasks only become schedulable once their predecessors ran.
+    ``sanitize`` turns on the model-invariant sanitizer for this run
+    (``True``, or a :class:`repro.simulator.sanitizer.Sanitizer` to
+    collect violations); ``None`` defers to the module-level switch.
     """
     return Runtime(
         graph,
@@ -522,4 +548,5 @@ def simulate(
         record_trace=record_trace,
         decision_op_cost=decision_op_cost,
         dependencies=dependencies,
+        sanitize=sanitize,
     ).run()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -31,6 +32,19 @@ class TraceRecorder:
     def record(self, time: float, kind: str, gpu: int, ref: int) -> None:
         if self.enabled:
             self.events.append(TraceEvent(time, kind, gpu, ref))
+
+    def digest(self) -> str:
+        """SHA-256 over the exact event stream.
+
+        Timestamps are hashed via ``repr`` (full float precision), so two
+        digests are equal iff the traces are bit-identical — the
+        determinism contract checked by the sanitizer's SAN007 and the
+        ``python -m repro.check`` smoke runs.
+        """
+        h = hashlib.sha256()
+        for e in self.events:
+            h.update(f"{e.time!r}|{e.kind}|{e.gpu}|{e.ref}\n".encode())
+        return h.hexdigest()
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == kind]
@@ -74,6 +88,9 @@ class RunResult:
     #: already part of the makespan via task start gating
     virtual_decision_time: float = 0.0
     trace: Optional[TraceRecorder] = None
+    #: SHA-256 of the trace event stream (None when tracing is off);
+    #: same seed ⇒ same digest is the repo's determinism contract
+    trace_digest: Optional[str] = None
     #: order in which each GPU executed its tasks (task ids)
     executed_order: List[List[int]] = field(default_factory=list)
     #: traffic split when NVLink peer links are enabled (bytes)

@@ -27,10 +27,19 @@ def matmul3d(
     if n < 1:
         raise ValueError("n must be >= 1")
     g = TaskGraph(name=f"matmul3d(n={n})")
-    a = [[g.add_data(data_size, name=f"A[{i},{k}]") for k in range(n)] for i in range(n)]
-    b = [[g.add_data(data_size, name=f"B[{k},{j}]") for j in range(n)] for k in range(n)]
+    a = [
+        [g.add_data(data_size, name=f"A[{i},{k}]") for k in range(n)]
+        for i in range(n)
+    ]
+    b = [
+        [g.add_data(data_size, name=f"B[{k},{j}]") for j in range(n)]
+        for k in range(n)
+    ]
     c = (
-        [[g.add_data(data_size, name=f"C[{i},{j}]") for j in range(n)] for i in range(n)]
+        [
+            [g.add_data(data_size, name=f"C[{i},{j}]") for j in range(n)]
+            for i in range(n)
+        ]
         if include_c
         else None
     )

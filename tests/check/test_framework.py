@@ -1,0 +1,100 @@
+"""Lint framework machinery: registry, noqa suppressions, reporters."""
+
+import json
+
+from repro.check.lint.framework import (
+    LintViolation,
+    Linter,
+    all_rules,
+    parse_noqa,
+)
+from repro.check.lint.reporters import json_report, text_report
+
+
+def lint_source(tmp_path, source, filename="mod.py", rules=None):
+    path = tmp_path / filename
+    path.write_text(source)
+    linter = Linter(rules) if rules is not None else Linter()
+    return linter.lint_file(path)
+
+
+class TestRegistry:
+    def test_all_rules_have_unique_codes(self):
+        rules = all_rules()
+        codes = [r.code for r in rules]
+        assert len(codes) == len(set(codes))
+        assert {"DET001", "DET002", "DET003", "DET004", "API001", "API002"} <= set(
+            codes
+        )
+
+    def test_rules_carry_descriptions(self):
+        for rule in all_rules():
+            assert rule.description, rule.code
+
+
+class TestNoqa:
+    def test_parse_bare_noqa(self):
+        noqa = parse_noqa(["x = 1", "y = 2  # repro: noqa"])
+        assert noqa == {2: {"*"}}
+
+    def test_parse_coded_noqa(self):
+        noqa = parse_noqa(["t = time.time()  # repro: noqa[DET002, DET001]"])
+        assert noqa == {1: {"DET002", "DET001"}}
+
+    def test_suppression_silences_matching_code(self, tmp_path):
+        src = "import time\nt = time.time()  # repro: noqa[DET002]\n"
+        assert lint_source(tmp_path, src) == []
+
+    def test_suppression_is_code_specific(self, tmp_path):
+        src = "import time\nt = time.time()  # repro: noqa[DET001]\n"
+        violations = lint_source(tmp_path, src)
+        assert [v.code for v in violations] == ["DET002"]
+
+    def test_bare_noqa_silences_everything(self, tmp_path):
+        src = "import time\nt = time.time()  # repro: noqa\n"
+        assert lint_source(tmp_path, src) == []
+
+
+class TestLinterDriver:
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        violations = lint_source(tmp_path, "def broken(:\n")
+        assert [v.code for v in violations] == ["SYN000"]
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text(
+            "import time\nt = time.time()\n"
+        )
+        (tmp_path / "pkg" / "b.py").write_text("x = 1\n")
+        violations = Linter().lint_paths([tmp_path / "pkg"])
+        assert [v.code for v in violations if v.code.startswith("DET")] == [
+            "DET002"
+        ]
+
+    def test_violations_sorted_by_location(self, tmp_path):
+        src = "import time\nb = time.time()\na = time.time()\n"
+        violations = lint_source(tmp_path, src)
+        assert [v.line for v in violations] == [2, 3]
+
+
+class TestReporters:
+    def _violations(self):
+        return [
+            LintViolation("DET002", "a.py", 3, 1, "wall clock"),
+            LintViolation("DET001", "a.py", 9, 5, "unseeded random"),
+        ]
+
+    def test_text_report_lists_and_summarises(self):
+        out = text_report(self._violations())
+        assert "a.py:3:1: DET002 wall clock" in out
+        assert "2 violation(s)" in out
+        assert "DET001×1" in out and "DET002×1" in out
+
+    def test_text_report_clean(self):
+        assert "no violations" in text_report([])
+
+    def test_json_report_round_trips(self):
+        payload = json.loads(json_report(self._violations()))
+        assert payload["count"] == 2
+        assert payload["violations"][0]["code"] == "DET002"
+        assert payload["violations"][1]["line"] == 9

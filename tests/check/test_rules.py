@@ -1,0 +1,213 @@
+"""Each lint rule fires on minimal bad code and stays silent on good."""
+
+from pathlib import Path
+
+from repro.check.lint.framework import Linter
+
+
+def lint(tmp_path, source, filename="mod.py"):
+    path = tmp_path / filename
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return Linter().lint_file(path)
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+class TestDET001UnseededRandom:
+    def test_module_level_random_flagged(self, tmp_path):
+        src = "import random\nx = random.random()\n"
+        assert "DET001" in codes(lint(tmp_path, src))
+
+    def test_aliased_module_flagged(self, tmp_path):
+        src = "import random as rnd\nx = rnd.randint(0, 3)\n"
+        assert "DET001" in codes(lint(tmp_path, src))
+
+    def test_from_import_flagged(self, tmp_path):
+        src = "from random import shuffle\nshuffle([1, 2])\n"
+        assert "DET001" in codes(lint(tmp_path, src))
+
+    def test_seeded_instance_ok(self, tmp_path):
+        src = "import random\nrng = random.Random(42)\nx = rng.random()\n"
+        assert codes(lint(tmp_path, src)) == []
+
+    def test_unseeded_instance_flagged(self, tmp_path):
+        src = "import random\nrng = random.Random()\n"
+        assert "DET001" in codes(lint(tmp_path, src))
+
+    def test_numpy_legacy_flagged(self, tmp_path):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert "DET001" in codes(lint(tmp_path, src))
+
+    def test_numpy_default_rng_ok(self, tmp_path):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert codes(lint(tmp_path, src)) == []
+
+    def test_scheduler_with_module_random_fails_lint(self, tmp_path):
+        """The acceptance scenario: a seeded random.Random in a scheduler
+        replaced by module-level random.random() must fail the lint."""
+        bad_scheduler = (
+            "import random\n"
+            "class MyScheduler:\n"
+            "    def next_task(self, gpu):\n"
+            "        return int(random.random() * 10)\n"
+        )
+        violations = lint(
+            tmp_path, bad_scheduler, filename="repro/schedulers/mine.py"
+        )
+        assert "DET001" in codes(violations)
+
+
+class TestDET002WallClock:
+    def test_time_time_flagged_anywhere(self, tmp_path):
+        src = "import time\nt = time.time()\n"
+        assert "DET002" in codes(lint(tmp_path, src))
+
+    def test_datetime_now_flagged(self, tmp_path):
+        src = "from datetime import datetime\nt = datetime.now()\n"
+        assert "DET002" in codes(lint(tmp_path, src))
+
+    def test_datetime_module_form_flagged(self, tmp_path):
+        src = "import datetime\nt = datetime.datetime.utcnow()\n"
+        assert "DET002" in codes(lint(tmp_path, src))
+
+    def test_perf_counter_ok_outside_simulated_paths(self, tmp_path):
+        src = "import time\nt = time.perf_counter()\n"
+        violations = lint(
+            tmp_path, src, filename="repro/experiments/timing.py"
+        )
+        assert codes(violations) == []
+
+    def test_perf_counter_flagged_in_simulated_path(self, tmp_path):
+        src = "import time\nt = time.perf_counter()\n"
+        violations = lint(
+            tmp_path, src, filename="repro/schedulers/clocky.py"
+        )
+        assert "DET002" in codes(violations)
+
+    def test_perf_counter_whitelisted_in_runtime(self, tmp_path):
+        src = "import time as _time\nt = _time.perf_counter()\n"
+        violations = lint(
+            tmp_path, src, filename="repro/simulator/runtime.py"
+        )
+        assert codes(violations) == []
+
+
+class TestDET003UnorderedIteration:
+    def test_for_over_set_call_flagged(self, tmp_path):
+        src = "for x in set([3, 1, 2]):\n    print(x)\n"
+        assert "DET003" in codes(lint(tmp_path, src))
+
+    def test_listcomp_over_set_param_flagged(self, tmp_path):
+        src = (
+            "from typing import Set\n"
+            "def pick(candidates: Set[int]):\n"
+            "    return [d for d in candidates if d > 0][0]\n"
+        )
+        assert "DET003" in codes(lint(tmp_path, src))
+
+    def test_sorted_wrap_ok(self, tmp_path):
+        src = (
+            "from typing import Set\n"
+            "def pick(candidates: Set[int]):\n"
+            "    return [d for d in sorted(candidates) if d > 0][0]\n"
+        )
+        assert codes(lint(tmp_path, src)) == []
+
+    def test_order_insensitive_reducers_ok(self, tmp_path):
+        src = (
+            "from typing import Set\n"
+            "def agg(candidates: Set[int]):\n"
+            "    return min(candidates), sum(c for c in candidates)\n"
+        )
+        assert codes(lint(tmp_path, src)) == []
+
+    def test_set_returning_method_flagged(self, tmp_path):
+        src = "def f(mem):\n    return list(mem.evictable())\n"
+        assert "DET003" in codes(lint(tmp_path, src))
+
+    def test_dict_comprehension_over_set_ok(self, tmp_path):
+        src = (
+            "from typing import Set\n"
+            "def tally(candidates: Set[int]):\n"
+            "    return {d: 0 for d in candidates}\n"
+        )
+        assert codes(lint(tmp_path, src)) == []
+
+
+class TestDET004FloatTimeEquality:
+    def test_now_equality_flagged_in_simulated_path(self, tmp_path):
+        src = "def f(engine, t):\n    return engine.now == t\n"
+        violations = lint(
+            tmp_path, src, filename="repro/simulator/thing.py"
+        )
+        assert "DET004" in codes(violations)
+
+    def test_time_suffix_flagged(self, tmp_path):
+        src = "def f(a, busy_time):\n    return busy_time != a\n"
+        violations = lint(tmp_path, src, filename="repro/core/thing.py")
+        assert "DET004" in codes(violations)
+
+    def test_ordering_comparisons_ok(self, tmp_path):
+        src = "def f(engine, t):\n    return engine.now <= t\n"
+        violations = lint(
+            tmp_path, src, filename="repro/simulator/thing.py"
+        )
+        assert codes(violations) == []
+
+    def test_not_applied_outside_simulated_paths(self, tmp_path):
+        src = "def f(engine, t):\n    return engine.now == t\n"
+        violations = lint(
+            tmp_path, src, filename="repro/experiments/thing.py"
+        )
+        assert codes(violations) == []
+
+
+class TestAPIConformance:
+    def test_repo_registry_is_conformant(self):
+        from repro.schedulers.registry import validate_registry
+
+        assert validate_registry() == []
+
+    def test_repo_eviction_policies_are_conformant(self):
+        import repro.eviction as ev
+        from repro.eviction.base import validate_policy_class
+
+        for name, cls in sorted(ev._BY_NAME.items()):
+            assert validate_policy_class(cls, name) == []
+
+    def test_nonconforming_policy_reported(self):
+        from repro.eviction.base import validate_policy_class
+
+        class NotAPolicy:
+            pass
+
+        problems = validate_policy_class(NotAPolicy, "bogus")
+        assert problems and "EvictionPolicyProtocol" in problems[0]
+
+    def test_policy_missing_choose_victim_reported(self):
+        from repro.eviction.base import EvictionPolicy, validate_policy_class
+
+        class Lazy(EvictionPolicy):
+            name = "lazy"
+
+        problems = validate_policy_class(Lazy, "lazy")
+        assert any("choose_victim" in p for p in problems)
+
+    def test_project_rules_run_via_linter(self, tmp_path):
+        """Project rules execute once per linted root and stay silent on
+        the conformant repo."""
+        from repro.check.lint.framework import Linter, ProjectRule
+
+        (tmp_path / "empty.py").write_text("x = 1\n")
+        violations = Linter().lint_paths([tmp_path])
+        assert codes(violations) == []
+
+    def test_whole_repo_src_is_lint_clean(self):
+        import repro
+
+        src_root = Path(repro.__file__).resolve().parent
+        violations = Linter().lint_paths([src_root])
+        assert violations == [], "\n".join(v.format() for v in violations)

@@ -4,6 +4,20 @@ import pytest
 
 from repro.core.problem import TaskGraph
 from repro.platform.spec import BusSpec, GpuSpec, PlatformSpec
+from repro.simulator import sanitizer as _sanitizer
+
+
+@pytest.fixture(autouse=True)
+def _sanitized_runs():
+    """Model-invariant sanitizer on for every test (strict: violations
+    raise).  Each Runtime created while enabled gets its own strict
+    :class:`repro.simulator.sanitizer.Sanitizer`, turning every
+    simulation in the suite into an invariant test for free."""
+    _sanitizer.enable()
+    try:
+        yield
+    finally:
+        _sanitizer.disable()
 
 
 @pytest.fixture
