@@ -5,6 +5,16 @@ Examples::
     python -m repro.experiments fig3
     python -m repro.experiments fig8 --scale paper --plot
     python -m repro.experiments all --scale small
+    python -m repro.experiments fig3 --jobs 4           # fan out cells
+    python -m repro.experiments fig3 --no-cache         # force recompute
+
+Sweep cells run through :mod:`repro.experiments.parallel`: ``--jobs N``
+fans independent ``(n, scheduler, repetition)`` simulations across N
+worker processes (default: all CPUs), and results are memoised in a
+content-addressed cache under ``--cache-dir`` (default
+``.repro-cache/``) so re-running a figure is near-instant unless the
+code, the instance, or the seed changed.  The per-figure footer reports
+wall-clock time and cache hit/miss counts.
 """
 
 from __future__ import annotations
@@ -12,14 +22,15 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List
+from typing import List, Optional
 
+from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.experiments.figures import FIGURES
-from repro.experiments.harness import run_figure
+from repro.experiments.parallel import run_figure_parallel
 from repro.metrics.report import ascii_plot, format_series_table
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the IPDPS'22 paper's evaluation figures "
@@ -46,27 +57,63 @@ def main(argv: List[str] = None) -> int:
         help="only run the first N working-set points of the sweep",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for independent sweep cells "
+        "(default: all CPUs; 1 = in-process serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="directory of the content-addressed result cache "
+        f"(default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the result cache",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="print points as they finish"
     )
     args = parser.parse_args(argv)
 
     figure_ids = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    unknown = [fid for fid in figure_ids if fid not in FIGURES]
+    if unknown:
+        # validate up front: nothing runs if any requested figure is bad
+        print(f"unknown figure {unknown[0]!r}; known: {sorted(FIGURES)}")
+        return 2
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
     for fid in figure_ids:
-        if fid not in FIGURES:
-            print(f"unknown figure {fid!r}; known: {sorted(FIGURES)}")
-            return 2
         config = FIGURES[fid]
         print(f"== {fid}: {config.title} ==")
         if config.notes:
             print(f"   {config.notes}")
+        before = cache.snapshot() if cache is not None else None
         t0 = time.perf_counter()
-        sweep = run_figure(
-            fid, scale=args.scale, verbose=args.verbose, points=args.points
+        sweep = run_figure_parallel(
+            fid,
+            scale=args.scale,
+            points=args.points,
+            jobs=args.jobs,
+            cache=cache,
+            verbose=args.verbose,
         )
+        elapsed = time.perf_counter() - t0
         print(format_series_table(sweep, metric=config.metric))
         if args.plot:
             print(ascii_plot(sweep, metric=config.metric))
-        print(f"   [{time.perf_counter() - t0:.1f}s]\n")
+        if cache is not None and before is not None:
+            stats = cache.stats_since(before)
+            print(
+                f"   [{elapsed:.1f}s] [cache: {stats['hits']} hits, "
+                f"{stats['misses']} misses, dir {cache.cache_dir}]\n"
+            )
+        else:
+            print(f"   [{elapsed:.1f}s] [cache off]\n")
     return 0
 
 

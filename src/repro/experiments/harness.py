@@ -4,10 +4,20 @@ Mirrors the paper's methodology (§V-A): for each working-set size, run
 every strategy on the same instance and record throughput and transfer
 volume; reference lines give the aggregate roofline and, for transfer
 plots, the PCI-bus limit curve.
+
+A sweep decomposes into independent *cells* — one ``(n, scheduler,
+repetition)`` simulation each.  :func:`run_cell` computes a single cell
+and :func:`run_sweep` assembles cells into the figure's series.  The
+assembly accepts a pluggable ``cell_runner`` so other execution
+strategies (the process-pool executor in
+:mod:`repro.experiments.parallel`, the result cache in
+:mod:`repro.experiments.cache`) produce byte-identical sweeps: only the
+way cells are *computed* changes, never the order they are merged in.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
@@ -38,8 +48,75 @@ class SweepSpec:
     repetitions: int = 1
 
 
-def run_sweep(spec: SweepSpec, verbose: bool = False) -> Sweep:
-    """Execute the sweep and collect all series."""
+#: computes one ``(n, scheduler, repetition)`` cell; the trailing graph
+#: argument is the instance already built for this ``n`` (runners that
+#: look results up instead of simulating may ignore it)
+CellRunner = Callable[
+    ["SweepSpec", int, str, int, Optional[TaskGraph]], Measurement
+]
+
+
+def rep_seed(base: int, scheduler: str, n: int, rep: int) -> int:
+    """Deterministic seed for one sweep cell.
+
+    Mixes the scheduler name, the instance size, and the repetition
+    index into the base seed (rather than the old ``base + rep``), so
+    no two cells of a sweep share a random state and repetitions differ
+    even for schedulers whose only entropy source is the seed.
+    """
+    canon = scheduler.strip().lower().replace(" ", "")
+    digest = hashlib.sha256(f"{base}|{canon}|{n}|{rep}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def effective_threshold(spec: SweepSpec, scheduler: str) -> Optional[int]:
+    """The DARTS threshold actually applied to this scheduler name."""
+    is_thresh = scheduler.strip().lower().endswith("+threshold")
+    return spec.threshold if is_thresh else None
+
+
+def run_cell(
+    spec: SweepSpec,
+    n: int,
+    scheduler: str,
+    rep: int,
+    graph: Optional[TaskGraph] = None,
+) -> Measurement:
+    """Simulate one ``(n, scheduler, repetition)`` cell of the sweep."""
+    if graph is None:
+        graph = spec.workload(n)
+    platform = spec.platform()
+    sched, eviction = make_scheduler(
+        scheduler, threshold=effective_threshold(spec, scheduler)
+    )
+    result = simulate(
+        graph,
+        platform,
+        sched,
+        eviction=eviction,
+        window=spec.window,
+        seed=rep_seed(spec.seed, scheduler, n, rep),
+    )
+    return Measurement.from_result(
+        result, n=n, working_set_mb=graph.working_set_bytes / 1e6
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    verbose: bool = False,
+    cell_runner: Optional[CellRunner] = None,
+) -> Sweep:
+    """Execute the sweep and collect all series.
+
+    ``cell_runner`` overrides how each cell's :class:`Measurement` is
+    obtained (defaults to :func:`run_cell`, i.e. simulate in-process).
+    Averaging across repetitions, series insertion order, the
+    no-sched-time variants, and the reference lines/curves are computed
+    here regardless of the runner, which is what guarantees that the
+    parallel and cached executors reproduce the serial sweep exactly.
+    """
+    runner: CellRunner = cell_runner if cell_runner is not None else run_cell
     platform = spec.platform()
     sweep = Sweep(title=spec.title)
     sweep.reference_lines["GFlop/s max"] = roofline_gflops(
@@ -60,23 +137,10 @@ def run_sweep(spec: SweepSpec, verbose: bool = False) -> Sweep:
             / 1e6
         )
         for name in spec.schedulers:
-            measurements = []
-            is_thresh = name.strip().lower().endswith("+threshold")
-            for rep in range(max(1, spec.repetitions)):
-                sched, eviction = make_scheduler(
-                    name, threshold=spec.threshold if is_thresh else None
-                )
-                result = simulate(
-                    graph,
-                    platform,
-                    sched,
-                    eviction=eviction,
-                    window=spec.window,
-                    seed=spec.seed + rep,
-                )
-                measurements.append(
-                    Measurement.from_result(result, n=n, working_set_mb=ws_mb)
-                )
+            measurements = [
+                runner(spec, n, name, rep, graph)
+                for rep in range(max(1, spec.repetitions))
+            ]
             m = _average(measurements)
             sweep.add(m)
             if verbose:
@@ -129,16 +193,10 @@ def _average(ms: List[Measurement]) -> Measurement:
     )
 
 
-def run_figure(
-    figure_id: str,
-    scale: str = "small",
-    verbose: bool = False,
-    points: Optional[int] = None,
-) -> Sweep:
-    """Regenerate a paper figure by id (``"fig3"`` … ``"fig13"``).
-
-    ``points`` truncates the sweep to its first N working-set sizes.
-    """
+def figure_spec(
+    figure_id: str, scale: str = "small", points: Optional[int] = None
+) -> SweepSpec:
+    """Resolve a figure id to its (possibly truncated) :class:`SweepSpec`."""
     from dataclasses import replace
 
     from repro.experiments.figures import FIGURES
@@ -152,4 +210,19 @@ def run_figure(
     spec = config.spec(scale)
     if points is not None:
         spec = replace(spec, ns=spec.ns[: max(1, points)])
-    return run_sweep(spec, verbose=verbose)
+    return spec
+
+
+def run_figure(
+    figure_id: str,
+    scale: str = "small",
+    verbose: bool = False,
+    points: Optional[int] = None,
+    cell_runner: Optional[CellRunner] = None,
+) -> Sweep:
+    """Regenerate a paper figure by id (``"fig3"`` … ``"fig13"``).
+
+    ``points`` truncates the sweep to its first N working-set sizes.
+    """
+    spec = figure_spec(figure_id, scale=scale, points=points)
+    return run_sweep(spec, verbose=verbose, cell_runner=cell_runner)

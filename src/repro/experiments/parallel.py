@@ -1,0 +1,201 @@
+"""Process-pool sweep executor with a deterministic merge.
+
+The cells of a sweep — one ``(n, scheduler, repetition)`` simulation
+each — are mutually independent, like the independent work items
+Celerity runs on concurrent queues or the independent DAG branches
+GrCUDA overlaps.  :func:`run_sweep_parallel` fans them out across
+worker processes and merges the results back by delegating assembly to
+:func:`repro.experiments.harness.run_sweep` with a lookup-table cell
+runner, so the output is byte-identical to the serial path regardless
+of worker count or completion order.
+
+Workers are forked (POSIX): the parent parks the spec and the built
+instances in module globals before creating the pool, and children
+inherit them through the fork, so specs whose ``workload``/``platform``
+factories are lambdas (most figure configs) need never be pickled.
+Only cell indices cross the pipe one way and ``Measurement`` dataclasses
+the other.  Where fork is unavailable the executor transparently falls
+back to in-process serial computation — same results, no speedup.
+
+Determinism contract: every simulation-derived quantity (throughput,
+transfers, loads, evictions, makespan, balance, series order) is
+bit-identical to the serial sweep for any worker count — compare with
+``Sweep.deterministic_dict()``.  The two wall-clock fields
+(``Measurement.WALL_CLOCK_FIELDS``: static scheduling time and the
+throughput charged with it) are *host measurements* and jitter between
+any two runs, serial or parallel, exactly as they did in the serial-only
+harness; serving cells from a shared :class:`ResultCache` freezes them
+too, making warm reruns byte-identical end to end.
+
+A :class:`repro.experiments.cache.ResultCache` plugs in before the
+fan-out: cached cells are looked up first and only the misses are
+simulated (then stored), so a warm rerun performs zero simulations.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.core.problem import TaskGraph
+from repro.experiments.cache import ResultCache
+from repro.experiments.harness import (
+    SweepSpec,
+    figure_spec,
+    run_cell,
+    run_sweep,
+)
+from repro.metrics.collect import Measurement, Sweep
+
+
+class Cell(NamedTuple):
+    """One independent unit of sweep work."""
+
+    n: int
+    scheduler: str
+    rep: int
+
+
+def enumerate_cells(spec: SweepSpec) -> List[Cell]:
+    """All ``(n, scheduler, repetition)`` cells, in serial sweep order."""
+    return [
+        Cell(n, name, rep)
+        for n in spec.ns
+        for name in spec.schedulers
+        for rep in range(max(1, spec.repetitions))
+    ]
+
+
+def default_jobs() -> int:
+    """Worker count when ``--jobs`` is not given: all usable CPUs."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# ----------------------------------------------------------------------
+# fork-shared state: set in the parent immediately before the pool is
+# created, inherited by the workers through the fork, cleared after
+# ----------------------------------------------------------------------
+_FORK_SPEC: Optional[SweepSpec] = None
+_FORK_CELLS: List[Cell] = []
+_FORK_GRAPHS: Dict[int, TaskGraph] = {}
+
+
+def _run_indexed_cell(i: int) -> Tuple[int, Measurement]:
+    """Worker entry point: compute cell ``i`` of the parked work list."""
+    assert _FORK_SPEC is not None, "worker forked without a parked spec"
+    cell = _FORK_CELLS[i]
+    return i, run_cell(
+        _FORK_SPEC,
+        cell.n,
+        cell.scheduler,
+        cell.rep,
+        graph=_FORK_GRAPHS.get(cell.n),
+    )
+
+
+def _compute_pool(
+    spec: SweepSpec,
+    cells: List[Cell],
+    graphs: Dict[int, TaskGraph],
+    jobs: int,
+) -> Dict[Cell, Measurement]:
+    global _FORK_SPEC, _FORK_CELLS, _FORK_GRAPHS
+    ctx = multiprocessing.get_context("fork")
+    # Largest instances dominate the wall clock; dispatch them first so
+    # the tail of the schedule is short cells, not one straggler.
+    order = sorted(range(len(cells)), key=lambda i: -cells[i].n)
+    _FORK_SPEC, _FORK_CELLS, _FORK_GRAPHS = spec, list(cells), graphs
+    try:
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
+            results: Dict[Cell, Measurement] = {}
+            for i, m in pool.map(_run_indexed_cell, order):
+                results[cells[i]] = m
+            return results
+    finally:
+        _FORK_SPEC, _FORK_CELLS, _FORK_GRAPHS = None, [], {}
+
+
+def run_sweep_parallel(
+    spec: SweepSpec,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    verbose: bool = False,
+) -> Sweep:
+    """Execute ``spec`` across ``jobs`` workers, reusing cached cells.
+
+    Produces exactly the :class:`Sweep` of ``run_sweep(spec)`` — same
+    series, same values, same order — for every ``jobs`` value.
+    """
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    cells = enumerate_cells(spec)
+    graphs = {n: spec.workload(n) for n in spec.ns}
+
+    results: Dict[Cell, Measurement] = {}
+    missing: List[Cell] = []
+    keys: Dict[Cell, str] = {}
+    if cache is not None:
+        for cell in cells:
+            keys[cell] = cache.key_for(
+                spec, cell.n, cell.scheduler, cell.rep, graph=graphs[cell.n]
+            )
+            hit = cache.get(keys[cell])
+            if hit is not None:
+                results[cell] = hit
+            else:
+                missing.append(cell)
+    else:
+        missing = list(cells)
+
+    if missing:
+        if jobs > 1 and len(missing) > 1 and fork_available():
+            computed = _compute_pool(
+                spec, missing, graphs, min(jobs, len(missing))
+            )
+        else:
+            computed = {
+                cell: run_cell(
+                    spec,
+                    cell.n,
+                    cell.scheduler,
+                    cell.rep,
+                    graph=graphs[cell.n],
+                )
+                for cell in missing
+            }
+        if cache is not None:
+            for cell, m in computed.items():
+                cache.put(keys[cell], m)
+        results.update(computed)
+
+    def lookup(
+        spec_: SweepSpec,
+        n: int,
+        name: str,
+        rep: int,
+        graph: Optional[TaskGraph] = None,
+    ) -> Measurement:
+        return results[Cell(n, name, rep)]
+
+    return run_sweep(spec, verbose=verbose, cell_runner=lookup)
+
+
+def run_figure_parallel(
+    figure_id: str,
+    scale: str = "small",
+    points: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    verbose: bool = False,
+) -> Sweep:
+    """Parallel, cache-aware counterpart of ``harness.run_figure``."""
+    spec = figure_spec(figure_id, scale=scale, points=points)
+    return run_sweep_parallel(spec, jobs=jobs, cache=cache, verbose=verbose)

@@ -9,15 +9,24 @@ diagnostics (loads, evictions, balance).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar, Dict, FrozenSet, List, Optional
 
 from repro.simulator.trace import RunResult
 
 
 @dataclass(frozen=True)
 class Measurement:
-    """One (scheduler, instance) data point."""
+    """One (scheduler, instance) data point.
+
+    Most fields are simulation-derived and bit-reproducible for a given
+    seed (the repo's determinism contract).  The exceptions are listed
+    in :attr:`WALL_CLOCK_FIELDS`: they incorporate the host wall-clock
+    cost of the static scheduling phase (mHFP packing, hMETIS
+    partitioning — what the paper charges as "scheduling time"), so
+    they vary slightly between any two runs, serial or parallel.
+    :meth:`deterministic_dict` strips them for exact comparisons.
+    """
 
     scheduler: str
     n: int
@@ -30,6 +39,12 @@ class Measurement:
     makespan_s: float
     scheduling_time_s: float
     balance: float
+
+    #: fields tainted by host wall-clock timing of the static scheduling
+    #: phase; everything else is deterministic in the seed
+    WALL_CLOCK_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
+        {"gflops_with_sched", "scheduling_time_s"}
+    )
 
     @classmethod
     def from_result(
@@ -61,6 +76,29 @@ class Measurement:
             return float(self.loads)
         raise ValueError(f"unknown metric {name!r}")
 
+    # ------------------------------------------------------------------
+    # JSON round-trip (lossless: json floats carry full repr precision,
+    # so ``from_dict(json.loads(json.dumps(to_dict())))`` is identity)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def deterministic_dict(self) -> Dict[str, Any]:
+        """Serialization restricted to the bit-reproducible fields."""
+        return {
+            k: v
+            for k, v in self.to_dict().items()
+            if k not in self.WALL_CLOCK_FIELDS
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Measurement":
+        kwargs = {f.name: d[f.name] for f in fields(cls)}
+        kwargs["n"] = int(kwargs["n"])
+        kwargs["loads"] = int(kwargs["loads"])
+        kwargs["evictions"] = int(kwargs["evictions"])
+        return cls(**kwargs)
+
 
 @dataclass
 class Series:
@@ -78,6 +116,19 @@ class Series:
     def mean(self, metric: str) -> float:
         vals = self.values(metric)
         return sum(vals) / len(vals) if vals else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scheduler": self.scheduler,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Series":
+        return cls(
+            scheduler=d["scheduler"],
+            points=[Measurement.from_dict(p) for p in d["points"]],
+        )
 
 
 @dataclass
@@ -112,3 +163,49 @@ class Sweep:
             sa, sb = sa[-last_k:], sb[-last_k:]
         ratios = [x / y for x, y in zip(sa, sb) if y > 0]
         return sum(ratios) / len(ratios)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize preserving series insertion order."""
+        return {
+            "title": self.title,
+            "series": [s.to_dict() for s in self.series.values()],
+            "reference_lines": dict(self.reference_lines),
+            "reference_curves": {
+                k: list(v) for k, v in self.reference_curves.items()
+            },
+        }
+
+    def deterministic_dict(self) -> Dict[str, Any]:
+        """Like :meth:`to_dict`, restricted to bit-reproducible fields.
+
+        Two sweeps of the same spec — serial, parallel with any worker
+        count, or cache-served — are equal under this projection; the
+        full ``to_dict`` additionally matches when both runs drew their
+        cells from the same cache entries.
+        """
+        return {
+            "title": self.title,
+            "series": [
+                {
+                    "scheduler": s.scheduler,
+                    "points": [p.deterministic_dict() for p in s.points],
+                }
+                for s in self.series.values()
+            ],
+            "reference_lines": dict(self.reference_lines),
+            "reference_curves": {
+                k: list(v) for k, v in self.reference_curves.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Sweep":
+        sweep = cls(title=d["title"])
+        for sd in d["series"]:
+            series = Series.from_dict(sd)
+            sweep.series[series.scheduler] = series
+        sweep.reference_lines = dict(d["reference_lines"])
+        sweep.reference_curves = {
+            k: list(v) for k, v in d["reference_curves"].items()
+        }
+        return sweep

@@ -242,9 +242,15 @@ class Sanitizer:
         number of loads any execution of that order can incur within the
         same capacity.  Fewer simulated loads would mean the simulator
         lost a fetch.  Skipped for output-producing graphs (produced
-        data are computed in place, not loaded).
+        data are computed in place, not loaded) and for heterogeneous
+        data sizes: Belady's farthest-next-use rule is only optimal —
+        and therefore only a lower bound — when all data are equal-sized
+        (with variable sizes, evicting one large far-use datum can cost
+        fewer reloads than the small near-use data Belady keeps).
         """
         if runtime.graph.has_outputs:
+            return
+        if runtime.graph.uniform_data_size() is None:
             return
         from repro.core.schedule import (
             InfeasibleScheduleError,

@@ -2,6 +2,16 @@
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the committed golden trace digests under "
+        "tests/golden/ instead of comparing against them",
+    )
+
 from repro.core.problem import TaskGraph
 from repro.platform.spec import BusSpec, GpuSpec, PlatformSpec
 from repro.simulator import sanitizer as _sanitizer

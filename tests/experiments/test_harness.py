@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.figures import FIGURES, FigureConfig
+from repro.experiments.figures import FIGURES
 from repro.experiments.harness import SweepSpec, run_figure, run_sweep
 from repro.platform.spec import tesla_v100_node
 from repro.workloads.matmul2d import matmul2d
@@ -101,12 +101,77 @@ class TestCli:
     def test_cli_runs_a_figure(self, capsys):
         from repro.experiments import cli
 
-        rc = cli.main(["fig4", "--scale", "small", "--points", "2"])
+        rc = cli.main(
+            ["fig4", "--scale", "small", "--points", "2", "--no-cache"]
+        )
         out = capsys.readouterr().out
         assert rc == 0
         assert "fig4" in out and "EAGER" in out
+        assert "[cache off]" in out
 
     def test_cli_unknown_figure(self, capsys):
         from repro.experiments import cli
 
         assert cli.main(["fig99"]) == 2
+        out = capsys.readouterr().out
+        assert "unknown figure" in out
+
+    def test_cli_rejects_unknown_figure_before_running(self, capsys):
+        """Validation happens up front — no sweep output precedes it."""
+        from repro.experiments import cli
+
+        assert cli.main(["fig98", "--points", "1"]) == 2
+        out = capsys.readouterr().out
+        assert "==" not in out
+
+    def test_cli_cache_cold_then_warm(self, tmp_path, capsys):
+        from repro.experiments import cli
+
+        argv = [
+            "fig4",
+            "--points",
+            "1",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert cli.main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "0 hits, 5 misses" in cold
+        assert cli.main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "5 hits, 0 misses" in warm
+
+    def test_cli_argv_defaults_to_sys_argv(self, monkeypatch, capsys):
+        import sys
+
+        from repro.experiments import cli
+
+        monkeypatch.setattr(sys, "argv", ["repro-experiments", "fig99"])
+        assert cli.main() == 2
+
+
+class TestRepSeedWiring:
+    def test_cells_receive_mixed_seeds(self, monkeypatch):
+        """run_sweep must pass rep_seed(...) to simulate, not seed+rep."""
+        from repro.experiments import harness
+
+        seen = []
+        real = harness.simulate
+
+        def spy(graph, platform, sched, **kwargs):
+            seen.append(kwargs["seed"])
+            return real(graph, platform, sched, **kwargs)
+
+        monkeypatch.setattr(harness, "simulate", spy)
+        spec = tiny_spec(ns=[4], schedulers=["eager", "dmdar"],
+                         repetitions=2)
+        run_sweep(spec)
+        expected = [
+            harness.rep_seed(0, name, 4, rep)
+            for name in ("eager", "dmdar")
+            for rep in range(2)
+        ]
+        assert seen == expected
+        assert len(set(seen)) == 4

@@ -201,6 +201,92 @@ class TestFig12Fig13Sparse:
         assert luf.total_evictions == 0
 
 
+class TestMemoryAwareTransferOrdering:
+    """§V's central ordering: memory-aware strategies move less data."""
+
+    def test_darts_transfers_strictly_less_than_eager(self, pressured_2d):
+        eager = run(pressured_2d, 1, "eager")
+        darts = run(pressured_2d, 1, "darts")
+        assert darts.total_mb < eager.total_mb
+
+    def test_hfp_transfers_strictly_less_than_eager(self, pressured_2d):
+        eager = run(pressured_2d, 1, "eager")
+        mhfp = run(pressured_2d, 1, "mhfp")
+        assert mhfp.total_mb < eager.total_mb
+
+    def test_ordering_holds_on_constrained_multi_gpu(self):
+        g = matmul2d(30)
+        mem = 250e6
+        eager = run(g, 2, "eager", memory=mem)
+        darts = run(g, 2, "darts", memory=mem)
+        mhfp = run(g, 2, "mhfp", memory=mem)
+        assert darts.total_mb < eager.total_mb
+        assert mhfp.total_mb < eager.total_mb
+
+
+class TestRepetitionAveraging:
+    def test_average_matches_hand_computed_mean(self):
+        from repro.experiments.harness import _average
+        from repro.metrics.collect import Measurement
+
+        a = Measurement(
+            scheduler="S",
+            n=4,
+            working_set_mb=100.0,
+            gflops=10.0,
+            gflops_with_sched=8.0,
+            transfers_mb=1.5,
+            loads=3,
+            evictions=1,
+            makespan_s=2.0,
+            scheduling_time_s=0.5,
+            balance=1.0,
+        )
+        b = Measurement(
+            scheduler="S",
+            n=4,
+            working_set_mb=100.0,
+            gflops=20.0,
+            gflops_with_sched=12.0,
+            transfers_mb=2.5,
+            loads=6,
+            evictions=2,
+            makespan_s=4.0,
+            scheduling_time_s=1.5,
+            balance=1.2,
+        )
+        avg = _average([a, b])
+        assert avg.scheduler == "S" and avg.n == 4
+        assert avg.working_set_mb == 100.0
+        assert avg.gflops == (10.0 + 20.0) / 2
+        assert avg.gflops_with_sched == (8.0 + 12.0) / 2
+        assert avg.transfers_mb == (1.5 + 2.5) / 2
+        assert avg.loads == round((3 + 6) / 2)
+        assert avg.evictions == round((1 + 2) / 2)
+        assert avg.makespan_s == (2.0 + 4.0) / 2
+        assert avg.scheduling_time_s == (0.5 + 1.5) / 2
+        assert avg.balance == (1.0 + 1.2) / 2
+
+    def test_average_of_single_measurement_is_identity(self):
+        from repro.experiments.harness import _average
+        from repro.metrics.collect import Measurement
+
+        m = Measurement(
+            scheduler="S",
+            n=4,
+            working_set_mb=1.0,
+            gflops=1.0,
+            gflops_with_sched=1.0,
+            transfers_mb=1.0,
+            loads=1,
+            evictions=1,
+            makespan_s=1.0,
+            scheduling_time_s=1.0,
+            balance=1.0,
+        )
+        assert _average([m]) is m
+
+
 class TestFig8Threshold:
     def test_threshold_inactive_below_activation_ratio(self):
         """Paper: the threshold applies 'for working sets larger than
