@@ -6,10 +6,13 @@ Determinism rules (``DET``)
     DET003  order-sensitive iteration over unordered containers
     DET004  ``==`` / ``!=`` on simulated float times
 
-API-conformance rules (``API``, project-wide, import-based)
+API-conformance rules (``API``)
     API001  scheduler registry entries must be ``Scheduler`` subclasses
-            implementing ``next_task``
+            implementing ``next_task`` (project-wide, import-based)
     API002  eviction policies must implement the ``EvictionPolicy`` API
+            (project-wide, import-based)
+    API003  scheduler/eviction code must not mutate runtime internals;
+            everything goes through the read-only ``RuntimeView``
 
 The determinism rules exist because every figure in the paper's
 evaluation rests on "same seed ⇒ same trace" (DESIGN.md decision 5):
@@ -46,8 +49,13 @@ SIMULATED_PACKAGES: Tuple[str, ...] = (
 
 #: modules allowed to read ``time.perf_counter`` — the scheduling-cost
 #: wall-clock measurement sites (a diagnostic, never fed back into the
-#: simulation; see ``RunResult.decision_wall_time``)
-PERF_COUNTER_WHITELIST: Tuple[str, ...] = ("repro.simulator.runtime",)
+#: simulation; see ``RunResult.decision_wall_time``).  These are the
+#: runtime-kernel layers that time scheduler calls.
+PERF_COUNTER_WHITELIST: Tuple[str, ...] = (
+    "repro.simulator.kernel",
+    "repro.simulator.prefetch",
+    "repro.simulator.worker",
+)
 
 
 def _in_simulated_path(module: str) -> bool:
@@ -160,14 +168,14 @@ class WallClockRule(Rule):
     package (measure elapsed wall time with ``time.perf_counter()``);
     ``perf_counter`` itself is additionally forbidden inside simulated
     code paths, except the whitelisted scheduling-cost measurement sites
-    in ``repro.simulator.runtime``.
+    in the runtime-kernel layers (:data:`PERF_COUNTER_WHITELIST`).
     """
 
     code = "DET002"
     name = "wall-clock"
     description = (
         "no time.time()/datetime.now(); perf_counter only outside "
-        "simulated paths (runtime.py whitelisted)"
+        "simulated paths (runtime-kernel layers whitelisted)"
     )
 
     _BANNED_TIME = {"time", "time_ns", "clock"}
@@ -461,6 +469,91 @@ class SchedulerRegistryRule(ProjectRule):
             yield LintViolation(
                 code=self.code, path=path, line=1, col=1, message=problem
             )
+
+
+#: packages whose code consumes the runtime through RuntimeView and is
+#: policed by API003 (strategy code must never mutate runtime internals)
+VIEW_CONSUMER_PACKAGES: Tuple[str, ...] = (
+    "repro.schedulers",
+    "repro.eviction",
+)
+
+#: names under which strategy code conventionally holds a RuntimeView
+_VIEW_NAMES = {"view", "_view"}
+
+
+def _chain_reaches_view(expr: ast.expr) -> bool:
+    """True when an attribute chain bottoms out in a RuntimeView handle
+    (``view.x``, ``self.view.x.y``, ``self._view.x``)."""
+    node = expr
+    while isinstance(node, ast.Attribute):
+        if node.attr in _VIEW_NAMES:
+            return True
+        node = node.value
+    return isinstance(node, ast.Name) and node.id in _VIEW_NAMES
+
+
+@register
+class RuntimeViewMutationRule(Rule):
+    """API003: strategy code must not mutate runtime internals.
+
+    Schedulers and eviction policies are handed a read-only
+    :class:`repro.simulator.view.RuntimeView`; the simulation's
+    correctness (admission control, pinning, memory accounting) depends
+    on the kernel being the only writer of its own state.  Two reaches
+    are flagged inside :data:`VIEW_CONSUMER_PACKAGES`:
+
+    * any access to the view's private ``_rt`` kernel handle — even a
+      read couples the strategy to kernel internals the view does not
+      promise;
+    * any assignment / augmented assignment / deletion targeting an
+      attribute reached *through* a view (``view.graph.tasks = ...``),
+      i.e. mutating shared runtime state behind the read-only surface.
+    """
+
+    code = "API003"
+    name = "runtime-view-mutation"
+    description = (
+        "scheduler/eviction code must not mutate runtime internals; "
+        "everything goes through the read-only RuntimeView"
+    )
+
+    def _applies(self, module: str) -> bool:
+        return any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in VIEW_CONSUMER_PACKAGES
+        )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[LintViolation]:
+        if not self._applies(ctx.module):
+            return
+        mutated: List[ast.expr] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                mutated.extend(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                mutated.append(node.target)
+            elif isinstance(node, ast.Delete):
+                mutated.extend(node.targets)
+            if isinstance(node, ast.Attribute) and node.attr == "_rt":
+                yield self.violation(
+                    ctx,
+                    node,
+                    "access to RuntimeView._rt reaches into the runtime "
+                    "kernel; use the view's query API (or extend it)",
+                )
+        for target in mutated:
+            if isinstance(target, ast.Subscript):
+                target = target.value
+            if isinstance(target, ast.Attribute) and _chain_reaches_view(
+                target.value
+            ):
+                yield self.violation(
+                    ctx,
+                    target,
+                    "assignment through a RuntimeView mutates runtime "
+                    "state; the view is read-only by contract",
+                )
 
 
 @register

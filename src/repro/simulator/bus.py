@@ -23,6 +23,7 @@ from collections import deque
 
 from repro.platform.spec import BusSpec
 from repro.simulator.engine import EventHandle, SimulationEngine
+from repro.simulator.events import EventStream, TransferCompleted
 
 #: Residual byte tolerance when deciding that a fluid transfer finished.
 _COMPLETION_TOL_BYTES = 1e-3
@@ -39,15 +40,21 @@ class _Transfer:
 class Bus:
     """Common interface and statistics for bus models."""
 
-    def __init__(self, engine: SimulationEngine, spec: BusSpec) -> None:
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        spec: BusSpec,
+        events: Optional[EventStream] = None,
+    ) -> None:
         self.engine = engine
         self.spec = spec
         self.bytes_transferred: float = 0.0
         self.bytes_to: Dict[int, float] = {}
         self.n_transfers: int = 0
-        #: optional sanitizer observing completions (duck-typed: any
-        #: object with ``on_transfer(bus, now)``); None in normal runs
-        self.observer: Optional[object] = None
+        #: instrumentation stream; a :class:`TransferCompleted` is
+        #: published after each transfer is accounted (subscribed by the
+        #: sanitizer's bus-conservation check)
+        self.events: EventStream = events if events is not None else EventStream()
 
     def submit(
         self,
@@ -71,15 +78,22 @@ class Bus:
         self.bytes_transferred += t.size
         self.bytes_to[t.dst] = self.bytes_to.get(t.dst, 0.0) + t.size
         self.n_transfers += 1
-        if self.observer is not None:
-            self.observer.on_transfer(self, self.engine.now)
+        if self.events.wants(TransferCompleted):
+            self.events.publish(
+                TransferCompleted(time=self.engine.now, bus=self)
+            )
 
 
 class FairShareBus(Bus):
     """Fluid fair sharing: each active transfer gets ``B / n_active``."""
 
-    def __init__(self, engine: SimulationEngine, spec: BusSpec) -> None:
-        super().__init__(engine, spec)
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        spec: BusSpec,
+        events: Optional[EventStream] = None,
+    ) -> None:
+        super().__init__(engine, spec, events)
         self._active: List[_Transfer] = []
         self._last_update: float = 0.0
         self._completion: Optional[EventHandle] = None
@@ -142,8 +156,13 @@ class FairShareBus(Bus):
 class FifoBus(Bus):
     """One transfer at a time, in request order, at full bandwidth."""
 
-    def __init__(self, engine: SimulationEngine, spec: BusSpec) -> None:
-        super().__init__(engine, spec)
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        spec: BusSpec,
+        events: Optional[EventStream] = None,
+    ) -> None:
+        super().__init__(engine, spec, events)
         self._queue: Deque[_Transfer] = deque()
         self._current: Optional[_Transfer] = None
 
@@ -176,10 +195,14 @@ class FifoBus(Bus):
         t.on_complete()
 
 
-def make_bus(engine: SimulationEngine, spec: BusSpec) -> Bus:
+def make_bus(
+    engine: SimulationEngine,
+    spec: BusSpec,
+    events: Optional[EventStream] = None,
+) -> Bus:
     """Instantiate the bus model selected by ``spec.model``."""
     if spec.model == "fair":
-        return FairShareBus(engine, spec)
+        return FairShareBus(engine, spec, events=events)
     if spec.model == "fifo":
-        return FifoBus(engine, spec)
+        return FifoBus(engine, spec, events=events)
     raise ValueError(f"unknown bus model {spec.model!r}")

@@ -12,6 +12,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.simulator.events import EngineStep, EventStream
+
 
 @dataclass(order=True)
 class _Entry:
@@ -45,14 +47,16 @@ class EventHandle:
 class SimulationEngine:
     """Event loop with virtual time."""
 
-    def __init__(self) -> None:
+    def __init__(self, events: Optional[EventStream] = None) -> None:
         self.now: float = 0.0
         self._heap: List[_Entry] = []
         self._seq = 0
         self._events_fired = 0
-        #: optional sanitizer observing event times (duck-typed: any
-        #: object with ``on_event(time, now)``); None in normal runs
-        self.observer: Optional[object] = None
+        #: instrumentation stream; an :class:`EngineStep` is published
+        #: before each event fires (subscribed by the sanitizer's
+        #: monotonicity check).  Costs one dict lookup when nobody
+        #: subscribed.
+        self.events: EventStream = events if events is not None else EventStream()
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` at ``now + delay``.  ``delay`` must be ≥ 0."""
@@ -75,8 +79,8 @@ class SimulationEngine:
             entry = heapq.heappop(self._heap)
             if entry.cancelled:
                 continue
-            if self.observer is not None:
-                self.observer.on_event(entry.time, self.now)
+            if self.events.wants(EngineStep):
+                self.events.publish(EngineStep(time=entry.time, now=self.now))
             self.now = entry.time
             self._events_fired += 1
             entry.callback()

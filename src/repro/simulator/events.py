@@ -1,0 +1,242 @@
+"""Typed runtime events and the unified instrumentation stream.
+
+Every observable thing the runtime kernel does — a task starting, a
+fetch being issued, a datum evicted, a scheduling decision charged —
+is published as one immutable :class:`RuntimeEvent` on a single
+:class:`EventStream`.  Trace recording, the invariant sanitizer,
+per-GPU statistics, and any future profiler are plain subscribers; the
+kernel itself subscribes for the few events that drive control flow
+(fetch completion, eviction notification).  This replaces the previous
+design of three duck-typed ``observer`` slots (engine / bus / memory)
+plus ad-hoc ``on_*`` lambdas threaded through five modules.
+
+Dispatch rules (the contract tests in ``tests/simulator/test_events.py``
+pin these down):
+
+* dispatch is by **exact** event type — no subclass fan-out — so a
+  ``publish`` is one dict lookup plus a list walk;
+* subscribers for a type run in **registration order**, which is fixed
+  by the kernel's wiring sequence and therefore deterministic;
+* a subscriber raising **propagates** to the publisher — instrumentation
+  errors (e.g. a strict sanitizer) must abort the simulation at the
+  offending event, never be swallowed;
+* publishers guard hot paths with :meth:`EventStream.wants` so that an
+  event nobody subscribed to costs one dict lookup — no event object is
+  allocated, no handler is called.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple, Type
+
+
+class RuntimeEvent:
+    """Base class of all runtime events (never published itself)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TaskStarted(RuntimeEvent):
+    """A task began executing; its inputs are resident and pinned."""
+
+    time: float
+    gpu: int
+    task: int
+    inputs: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TaskCompleted(RuntimeEvent):
+    """A task finished executing after ``duration`` virtual seconds."""
+
+    time: float
+    gpu: int
+    task: int
+    duration: float
+    flops: float
+
+
+@dataclass(frozen=True)
+class FetchIssued(RuntimeEvent):
+    """A fetch of ``data_id`` into ``gpu`` was submitted to a transport."""
+
+    time: float
+    gpu: int
+    data_id: int
+
+
+@dataclass(frozen=True)
+class FetchCompleted(RuntimeEvent):
+    """``data_id`` became resident on ``gpu`` (``size`` payload bytes)."""
+
+    time: float
+    gpu: int
+    data_id: int
+    size: float
+
+
+@dataclass(frozen=True)
+class EvictionStarted(RuntimeEvent):
+    """``data_id`` was chosen for eviction; published *before* the state
+    change so invariant checkers can veto (``pinned`` is the pin state at
+    selection time)."""
+
+    time: float
+    gpu: int
+    data_id: int
+    pinned: bool
+
+
+@dataclass(frozen=True)
+class Evicted(RuntimeEvent):
+    """``data_id`` was dropped from ``gpu``'s memory."""
+
+    time: float
+    gpu: int
+    data_id: int
+
+
+@dataclass(frozen=True)
+class WriteBackStarted(RuntimeEvent):
+    """An output's eager write-back to the host was submitted."""
+
+    time: float
+    gpu: int
+    data_id: int
+    size: float
+
+
+@dataclass(frozen=True)
+class WriteBackCompleted(RuntimeEvent):
+    """An output's write-back landed; the host copy now exists."""
+
+    time: float
+    gpu: int
+    data_id: int
+
+
+@dataclass(frozen=True)
+class DecisionMade(RuntimeEvent):
+    """The scheduler answered a ``next_task`` poll for ``gpu``.
+
+    ``task`` is ``None`` when the scheduler had nothing to give;
+    ``cost`` is the modelled virtual latency charged for the decision
+    (``ops × decision_op_cost`` seconds, 0 when uncharged).
+    """
+
+    time: float
+    gpu: int
+    task: object  # Optional[int]; kept loose for cheap construction
+    cost: float
+
+
+@dataclass(frozen=True)
+class MemoryUsageChanged(RuntimeEvent):
+    """A device memory's ``used`` accounting changed."""
+
+    time: float
+    gpu: int
+    used: float
+    capacity: float
+
+
+@dataclass(frozen=True)
+class TransferCompleted(RuntimeEvent):
+    """A bus finished and accounted one transfer (``bus`` is the model)."""
+
+    time: float
+    bus: object
+
+
+@dataclass(frozen=True)
+class EngineStep(RuntimeEvent):
+    """The discrete-event core is about to fire the event at ``time``;
+    ``now`` is the clock *before* it advances."""
+
+    time: float
+    now: float
+
+
+#: the full taxonomy, in lifecycle order (used by subscribe-all helpers
+#: and the DESIGN.md event table)
+RUNTIME_EVENT_TYPES: Tuple[Type[RuntimeEvent], ...] = (
+    DecisionMade,
+    FetchIssued,
+    FetchCompleted,
+    TaskStarted,
+    TaskCompleted,
+    WriteBackStarted,
+    WriteBackCompleted,
+    EvictionStarted,
+    Evicted,
+    MemoryUsageChanged,
+    TransferCompleted,
+    EngineStep,
+)
+
+_NO_SUBSCRIBERS: Tuple[Callable[[RuntimeEvent], None], ...] = ()
+
+
+class EventStream:
+    """Publish/subscribe hub for :class:`RuntimeEvent` instances."""
+
+    __slots__ = ("_subscribers",)
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[
+            Type[RuntimeEvent], List[Callable[[RuntimeEvent], None]]
+        ] = {}
+
+    def subscribe(
+        self,
+        handler: Callable[[RuntimeEvent], None],
+        *event_types: Type[RuntimeEvent],
+    ) -> None:
+        """Register ``handler`` for each given event type.
+
+        With no types given, the handler receives *every* event in
+        :data:`RUNTIME_EVENT_TYPES`.  Handlers for one type run in
+        registration order; the same handler may be registered for many
+        types.
+        """
+        for et in event_types or RUNTIME_EVENT_TYPES:
+            self._subscribers.setdefault(et, []).append(handler)
+
+    def unsubscribe(
+        self,
+        handler: Callable[[RuntimeEvent], None],
+        *event_types: Type[RuntimeEvent],
+    ) -> None:
+        """Remove every registration of ``handler`` for the given types
+        (all types when none given).  Unknown registrations are ignored."""
+        for et in event_types or RUNTIME_EVENT_TYPES:
+            subs = self._subscribers.get(et)
+            if not subs:
+                continue
+            self._subscribers[et] = [h for h in subs if h is not handler]
+            if not self._subscribers[et]:
+                del self._subscribers[et]
+
+    def wants(self, event_type: Type[RuntimeEvent]) -> bool:
+        """True when at least one subscriber registered for the type.
+
+        Publishers on hot paths guard with this so a disabled consumer
+        (tracing off, sanitizer off) costs one dict lookup: no event
+        allocation, no call.
+        """
+        return event_type in self._subscribers
+
+    def publish(self, event: RuntimeEvent) -> None:
+        """Deliver ``event`` to its type's subscribers, in order.
+
+        Subscriber exceptions propagate to the caller deliberately: a
+        strict sanitizer must be able to abort the simulation at the
+        offending event.
+        """
+        for handler in self._subscribers.get(type(event), _NO_SUBSCRIBERS):
+            handler(event)
+
+    def subscriber_count(self, event_type: Type[RuntimeEvent]) -> int:
+        return len(self._subscribers.get(event_type, ()))

@@ -13,7 +13,8 @@ instead of re-fetched from main memory.  The source copy is pinned for
 the duration so it cannot be evicted mid-transfer.  Data present nowhere
 still come from the host over the shared PCIe bus.
 
-Schedulers need no changes — the routing is at the memory-system level,
+Schedulers need no changes — the routing is at the memory-system level
+behind the :class:`repro.simulator.routing.TransferRouter` interface,
 just like CUDA peer-to-peer — so every strategy of the paper benefits
 automatically; the ``bench_ablation_nvlink`` benchmark quantifies it.
 """
@@ -25,9 +26,11 @@ from typing import Callable, List, Optional, Sequence
 from repro.platform.spec import BusSpec
 from repro.simulator.bus import Bus, FairShareBus
 from repro.simulator.engine import SimulationEngine
+from repro.simulator.events import EventStream
+from repro.simulator.routing import TransferRouter
 
 
-class PeerFabric:
+class PeerFabric(TransferRouter):
     """Routes fetches over peer links when a resident copy exists."""
 
     def __init__(
@@ -36,13 +39,16 @@ class PeerFabric:
         host_bus: Bus,
         peer_spec: BusSpec,
         n_gpus: int,
+        events: Optional[EventStream] = None,
     ) -> None:
         self.engine = engine
         self.host_bus = host_bus
         #: one egress channel per source GPU (fair-shared among its
-        #: concurrent outgoing copies)
+        #: concurrent outgoing copies); instrumented on the same event
+        #: stream as the host bus so bus-conservation checks cover them
         self.peer_channels: List[Bus] = [
-            FairShareBus(engine, peer_spec) for _ in range(n_gpus)
+            FairShareBus(engine, peer_spec, events=events)
+            for _ in range(n_gpus)
         ]
         self._memories: Optional[Sequence[object]] = None
         # statistics
@@ -51,15 +57,29 @@ class PeerFabric:
         self.peer_transfers: int = 0
 
     def attach(self, memories: Sequence[object]) -> None:
-        """Wire the per-GPU memories (runtime calls this once)."""
+        """Wire the per-GPU memories (the kernel calls this once)."""
         self._memories = memories
 
     # ------------------------------------------------------------------
     def _locate(self, data_id: int, dst: int) -> Optional[int]:
-        """Lowest-index GPU other than ``dst`` holding ``data_id``."""
+        """Pick the source GPU for ``data_id``, or None for the host.
+
+        Candidates are GPUs other than ``dst`` whose copy is fully
+        PRESENT and not in the middle of being evicted — an eviction
+        in progress (between victim selection and state removal, e.g.
+        while :class:`~repro.simulator.events.EvictionStarted`
+        subscribers run) must not be chosen as a source, since the copy
+        is gone by the time the peer transfer would read it.  Ties are
+        broken deterministically by taking the lowest GPU index, which
+        keeps source selection a pure function of memory state.
+        """
         assert self._memories is not None, "fabric not attached"
         for k, mem in enumerate(self._memories):
-            if k != dst and mem.is_present(data_id):
+            if (
+                k != dst
+                and mem.is_present(data_id)
+                and not mem.is_evicting(data_id)
+            ):
                 return k
         return None
 
@@ -86,13 +106,3 @@ class PeerFabric:
             on_complete()
 
         self.peer_channels[src].submit(size, dst, done, data_id=data_id)
-
-    # ------------------------------------------------------------------
-    @property
-    def bytes_transferred(self) -> float:
-        return self.bytes_from_host + self.bytes_from_peer
-
-    def peer_fraction(self) -> float:
-        """Share of traffic served by peer links instead of the host."""
-        total = self.bytes_transferred
-        return self.bytes_from_peer / total if total > 0 else 0.0

@@ -1,0 +1,358 @@
+"""Runtime kernel: lifecycle and wiring of the layered simulator.
+
+:class:`RuntimeKernel` is the orchestrator of one simulated execution.
+It owns *construction and lifecycle only* — the actual mechanics live in
+the layers it wires together:
+
+========================================  ============================
+:mod:`repro.simulator.engine`             discrete-event core
+:mod:`repro.simulator.bus`                shared-link contention models
+:mod:`repro.simulator.routing`            transfer transport selection
+:mod:`repro.simulator.memory`             per-GPU memory + eviction
+:mod:`repro.simulator.prefetch`           admission + prefetch issue
+:mod:`repro.simulator.worker`             per-GPU execution loop
+:mod:`repro.simulator.events`             typed runtime event stream
+:mod:`repro.simulator.view`               read-only scheduler surface
+========================================  ============================
+
+Every observable occurrence is published once on a single
+:class:`~repro.simulator.events.EventStream`; trace recording
+(:class:`~repro.simulator.trace.TraceRecorder`), invariant checking
+(:class:`~repro.simulator.sanitizer.Sanitizer`), statistics
+(:class:`StatsCollector`) and the kernel's own control reactions are
+all subscribers.  Registration order is part of the determinism
+contract: sanitizer first (violations fire before anything else
+processes the event), then trace, then stats, then control — this
+reproduces the exact interleaving the pre-refactor runtime hard-coded,
+so same-seed trace digests are byte-identical across the split.
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.core.problem import TaskGraph
+from repro.platform.spec import PlatformSpec
+from repro.schedulers.base import Scheduler
+from repro.simulator.bus import make_bus
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.events import (
+    Evicted,
+    EventStream,
+    FetchCompleted,
+    TaskCompleted,
+    WriteBackCompleted,
+    WriteBackStarted,
+)
+from repro.simulator.memory import DeviceMemory
+from repro.simulator.prefetch import Prefetcher
+from repro.simulator.routing import HostRouter, TransferRouter
+from repro.simulator.sanitizer import Sanitizer, is_enabled as _sanitizer_enabled
+from repro.simulator.trace import GpuStats, RunResult, TraceRecorder
+from repro.simulator.view import RuntimeView
+from repro.simulator.worker import Worker, WorkerState
+
+
+class SimulationDeadlock(Exception):
+    """The event queue drained while tasks remained unexecuted."""
+
+
+class StatsCollector:
+    """Accumulates per-GPU execution statistics from the event stream."""
+
+    __slots__ = ("stats",)
+
+    def __init__(self, stats: List[GpuStats]) -> None:
+        self.stats = stats
+
+    def subscribe_to(self, stream: EventStream) -> None:
+        stream.subscribe(self._on_task_completed, TaskCompleted)
+        stream.subscribe(self._on_write_back_started, WriteBackStarted)
+
+    def _on_task_completed(self, e: TaskCompleted) -> None:
+        st = self.stats[e.gpu]
+        st.n_tasks += 1
+        st.busy_time += e.duration
+        st.flops += e.flops
+
+    def _on_write_back_started(self, e: WriteBackStarted) -> None:
+        st = self.stats[e.gpu]
+        st.bytes_stored += e.size
+        st.n_stores += 1
+
+
+class RuntimeKernel:
+    """One simulated execution of ``graph`` on ``platform`` by ``scheduler``."""
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        platform: PlatformSpec,
+        scheduler: Scheduler,
+        eviction: Union[str, Callable[[int, RuntimeView], object]] = "lru",
+        window: int = 2,
+        seed: int = 0,
+        record_trace: bool = False,
+        decision_op_cost: float = 5e-8,
+        dependencies: Optional[object] = None,
+        sanitize: Union[None, bool, Sanitizer] = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError("task buffer window must be >= 1")
+        if decision_op_cost < 0:
+            raise ValueError("decision_op_cost must be >= 0")
+        self.graph = graph
+        self.platform = platform
+        self.scheduler = scheduler
+        self.window = window
+        self.rng = random.Random(seed)
+        #: the one instrumentation stream every layer publishes on
+        self.events = EventStream()
+        # Invariant sanitizer: explicit instance > explicit bool > the
+        # module-level switch (turned on for the whole test suite).
+        self.sanitizer: Optional[Sanitizer]
+        if isinstance(sanitize, Sanitizer):
+            self.sanitizer = sanitize
+        else:
+            wanted = _sanitizer_enabled() if sanitize is None else sanitize
+            self.sanitizer = Sanitizer() if wanted else None
+        self.engine = SimulationEngine(events=self.events)
+        self.bus = make_bus(self.engine, platform.bus, events=self.events)
+        # PCIe is full duplex: device→host write-backs (the output
+        # extension) ride their own channel and overlap with fetches —
+        # the paper's "transferred concurrently with data input".
+        self.store_bus = (
+            make_bus(self.engine, platform.bus, events=self.events)
+            if graph.has_outputs
+            else None
+        )
+        self.fabric = None
+        if platform.peer_link is not None:
+            from repro.simulator.fabric import PeerFabric
+
+            self.fabric = PeerFabric(
+                self.engine,
+                self.bus,
+                platform.peer_link,
+                platform.n_gpus,
+                events=self.events,
+            )
+        #: transport serving input fetches (peer fabric when configured)
+        self.fetch_router: TransferRouter = (
+            self.fabric if self.fabric is not None else HostRouter(self.bus)
+        )
+        #: transport serving output write-backs
+        self.store_router: Optional[TransferRouter] = (
+            HostRouter(self.store_bus) if self.store_bus is not None else None
+        )
+        self.sizes = [d.size for d in graph.data]
+        self.trace = TraceRecorder(enabled=record_trace)
+        self.view = RuntimeView(self)
+
+        # Output-data extension: produced data are not in host memory
+        # until their eager write-back completes.
+        self._host_resident: List[bool] = [
+            not graph.is_produced(d) for d in range(graph.n_data)
+        ]
+
+        # Eviction policies are created per GPU via repro.eviction.
+        from repro.eviction import make_policy
+
+        self.memories: List[DeviceMemory] = []
+        for k, gpu in enumerate(platform.gpus):
+            policy = (
+                eviction(k, self.view)
+                if callable(eviction)
+                else make_policy(eviction, k, self.view, scheduler)
+            )
+            self.memories.append(
+                DeviceMemory(
+                    engine=self.engine,
+                    router=self.fetch_router,
+                    gpu_index=k,
+                    capacity_bytes=gpu.memory_bytes,
+                    data_sizes=self.sizes,
+                    policy=policy,
+                    events=self.events,
+                    data_available=(
+                        self._is_data_available if graph.has_outputs else None
+                    ),
+                )
+            )
+
+        if self.fabric is not None:
+            self.fabric.attach(self.memories)
+
+        self.workers: List[WorkerState] = [
+            WorkerState() for _ in range(platform.n_gpus)
+        ]
+        self._worker_loops: List[Worker] = [
+            Worker(self, k, self.workers[k]) for k in range(platform.n_gpus)
+        ]
+        self.prefetcher = Prefetcher(self)
+        self.stats = [GpuStats() for _ in range(platform.n_gpus)]
+        self.executed_order: List[List[int]] = [
+            [] for _ in range(platform.n_gpus)
+        ]
+        self.decision_op_cost = decision_op_cost
+        # Optional task dependencies (the paper's §VI extension): tasks
+        # are released to schedulers once all predecessors completed.
+        self.dependencies = None
+        self._indegree: Optional[List[int]] = None
+        if dependencies is not None:
+            from repro.dag.deps import DependencySet
+
+            if not isinstance(dependencies, DependencySet):
+                dependencies = DependencySet(graph.n_tasks, dependencies)
+            dependencies.validate(graph)
+            self.dependencies = dependencies
+            self._indegree = dependencies.indegrees()
+        #: virtual start gate per popped task (decision pipeline)
+        self._task_gate: Dict[int, float] = {}
+        self._virtual_decision_time = 0.0
+        if graph.has_outputs:
+            self._validate_producer_consumer()
+        self._remaining = graph.n_tasks
+        self._decision_time = 0.0
+        self._prepare_time = 0.0
+        self._finished = False
+        # Workers only react to events once run() has begun; this lets
+        # tests drive memories/buses directly through an idle kernel.
+        self._started = False
+
+        # Subscriber wiring.  Order matters and mirrors the inline call
+        # order of the pre-split runtime: sanitizer checks fire before
+        # the trace records an event, and the trace records before the
+        # kernel's control reactions (scheduler callbacks + pokes) run.
+        if self.sanitizer is not None:
+            self.sanitizer.subscribe_to(self.events, self.memories)
+        self.trace.subscribe_to(self.events)
+        self._stats_collector = StatsCollector(self.stats)
+        self._stats_collector.subscribe_to(self.events)
+        self.events.subscribe(self._on_fetch_completed, FetchCompleted)
+        self.events.subscribe(self._on_evicted, Evicted)
+
+    # ------------------------------------------------------------------
+    # main entry
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        t0 = _time.perf_counter()
+        self.scheduler.prepare(self.view)
+        self._prepare_time = _time.perf_counter() - t0
+
+        self._started = True
+        self._poke_all()
+        self.engine.run()
+
+        if self._remaining > 0:
+            self._raise_deadlock()
+        for mem in self.memories:
+            mem.check_invariants()
+        if self.sanitizer is not None:
+            self.sanitizer.after_run(self)
+
+        result = RunResult(
+            scheduler=self.scheduler.name,
+            n_gpus=self.platform.n_gpus,
+            makespan=self.engine.now,
+            total_flops=self.graph.total_flops,
+            gpus=self.stats,
+            scheduling_time=self._prepare_time + self._decision_time,
+            prepare_time=self._prepare_time,
+            decision_wall_time=self._decision_time,
+            virtual_decision_time=self._virtual_decision_time,
+            trace=self.trace if self.trace.enabled else None,
+            trace_digest=self.trace.digest() if self.trace.enabled else None,
+            executed_order=self.executed_order,
+        )
+        for k, mem in enumerate(self.memories):
+            self.stats[k].n_loads = mem.n_loads
+            self.stats[k].bytes_loaded = mem.bytes_loaded
+            self.stats[k].n_evictions = mem.n_evictions
+        # The fetch router owns the host/peer traffic split regardless
+        # of which transport it is.
+        result.bytes_from_host = self.fetch_router.bytes_from_host
+        result.bytes_from_peer = self.fetch_router.bytes_from_peer
+        return result
+
+    # ------------------------------------------------------------------
+    # worker state machine
+    # ------------------------------------------------------------------
+    def _poke_all(self) -> None:
+        for k in range(self.platform.n_gpus):
+            self._poke(k)
+
+    def _poke(self, gpu: int) -> None:
+        self.prefetcher.fill_buffer(gpu)
+        self._worker_loops[gpu].try_start()
+
+    # ------------------------------------------------------------------
+    # control-plane event subscribers
+    # ------------------------------------------------------------------
+    def _on_fetch_completed(self, e: FetchCompleted) -> None:
+        if not self._started:
+            return
+        t0 = _time.perf_counter()
+        self.scheduler.on_data_loaded(e.gpu, e.data_id)
+        self._decision_time += _time.perf_counter() - t0
+        self._poke(e.gpu)
+
+    def _on_evicted(self, e: Evicted) -> None:
+        if self._started:
+            self.scheduler.on_data_evicted(e.gpu, e.data_id)
+
+    # ------------------------------------------------------------------
+    # output-data extension
+    # ------------------------------------------------------------------
+    def _validate_producer_consumer(self) -> None:
+        """Consumers of produced data must depend on the producer."""
+        for d in range(self.graph.n_data):
+            producer = self.graph.producer_of(d)
+            if producer is None:
+                continue
+            for user in self.graph.users_of(d):
+                if self.dependencies is None or (
+                    producer not in self.dependencies.preds[user]
+                ):
+                    raise ValueError(
+                        f"task {user} reads produced datum {d} but does "
+                        f"not depend on its producer {producer}; pass the "
+                        "producer→consumer edges via dependencies="
+                    )
+
+    def _is_data_available(self, d: int) -> bool:
+        """Can ``d`` be fetched right now (host copy or reachable peer)?"""
+        if self._host_resident[d]:
+            return True
+        if self.fabric is not None:
+            return any(mem.is_present(d) for mem in self.memories)
+        return False
+
+    def _store_done(self, gpu: int, d: int) -> None:
+        self._host_resident[d] = True
+        self.memories[gpu].unpin(d)
+        if self.events.wants(WriteBackCompleted):
+            self.events.publish(
+                WriteBackCompleted(time=self.engine.now, gpu=gpu, data_id=d)
+            )
+        for mem in self.memories:
+            mem.retry_pending()
+        self._poke_all()
+
+    # ------------------------------------------------------------------
+    def _raise_deadlock(self) -> None:
+        lines = [f"{self._remaining}/{self.graph.n_tasks} tasks never ran"]
+        for k, w in enumerate(self.workers):
+            mem = self.memories[k]
+            lines.append(
+                f"  gpu{k}: executing={w.executing} buffer={list(w.buffer)} "
+                f"staged={w.staged} exhausted={w.exhausted} "
+                f"used={mem.used:.0f}/{mem.capacity:.0f}B "
+                f"fetching={sorted(mem.fetching_set())}"
+            )
+        raise SimulationDeadlock("\n".join(lines))
+
+
+__all__ = ["RuntimeKernel", "SimulationDeadlock", "StatsCollector"]

@@ -14,6 +14,17 @@ to avoid.
 
 Evictions are free in time: the paper's model has read-only inputs, so no
 write-back occurs.
+
+Instrumentation rides the :class:`repro.simulator.events.EventStream`
+passed at construction: :class:`~repro.simulator.events.FetchIssued`,
+:class:`~repro.simulator.events.FetchCompleted`,
+:class:`~repro.simulator.events.EvictionStarted`,
+:class:`~repro.simulator.events.Evicted` and
+:class:`~repro.simulator.events.MemoryUsageChanged` replace the bespoke
+callback/observer attributes the memory used to carry.  Every publish is
+guarded by :meth:`~repro.simulator.events.EventStream.wants`, so with no
+subscriber the hot fetch path costs one dict lookup — no closure is
+allocated and no call is made.
 """
 
 from __future__ import annotations
@@ -31,8 +42,16 @@ from typing import (
     Tuple,
 )
 
-from repro.simulator.bus import Bus
 from repro.simulator.engine import SimulationEngine
+from repro.simulator.events import (
+    Evicted,
+    EvictionStarted,
+    EventStream,
+    FetchCompleted,
+    FetchIssued,
+    MemoryUsageChanged,
+)
+from repro.simulator.routing import TransferRouter
 
 
 class MemoryFullError(Exception):
@@ -69,45 +88,41 @@ class EvictionPolicyProtocol:
 
 
 class DeviceMemory:
-    """Bounded memory of one GPU, fed by the shared bus."""
+    """Bounded memory of one GPU, fed through a :class:`TransferRouter`."""
 
     def __init__(
         self,
         engine: SimulationEngine,
-        bus: Bus,
+        router: TransferRouter,
         gpu_index: int,
         capacity_bytes: float,
         data_sizes: Sequence[float],
         policy: EvictionPolicyProtocol,
-        on_data_ready: Callable[[int, int], None],
-        on_evicted: Optional[Callable[[int, int], None]] = None,
-        on_fetch_start: Optional[Callable[[int, int], None]] = None,
+        events: Optional[EventStream] = None,
         data_available: Optional[Callable[[int], bool]] = None,
-        sanitizer: Optional[object] = None,
     ) -> None:
         if capacity_bytes <= 0:
             raise ValueError("capacity must be positive")
         self.engine = engine
-        self.bus = bus
+        self.router = router
         self.gpu = gpu_index
         self.capacity = float(capacity_bytes)
         self.sizes = data_sizes
         self.policy = policy
-        self._on_data_ready = on_data_ready
-        self._on_evicted = on_evicted
-        self._on_fetch_start = on_fetch_start
+        #: instrumentation stream shared with the rest of the runtime
+        self.events: EventStream = events if events is not None else EventStream()
         #: whether a datum can currently be fetched at all (produced
         #: data are unavailable until written back or peer-resident)
         self._data_available = data_available
-        #: optional invariant checker (duck-typed Sanitizer); notified on
-        #: every accounting change and attempted eviction
-        self.sanitizer = sanitizer
         self._state: Dict[int, DataState] = {}
         self._pins: Dict[int, int] = {}
         self.used: float = 0.0
         # pending fetches: (datum, data protected from eviction for it)
         self._pending: List[Tuple[int, FrozenSet[int]]] = []
         self._pending_set: Set[int] = set()
+        #: data whose eviction has begun but not yet finished — peer
+        #: routing must not pick these as transfer sources
+        self._evicting: Set[int] = set()
         # statistics
         self.n_loads: int = 0
         self.bytes_loaded: float = 0.0
@@ -124,6 +139,10 @@ class DeviceMemory:
 
     def is_fetching(self, d: int) -> bool:
         return self._state.get(d) is DataState.FETCHING
+
+    def is_evicting(self, d: int) -> bool:
+        """Whether ``d`` is mid-eviction (unsafe as a peer-copy source)."""
+        return d in self._evicting
 
     def holds(self, d: int) -> bool:
         """Present or on its way (space already reserved)."""
@@ -225,9 +244,11 @@ class DeviceMemory:
             self._state[d] = DataState.FETCHING
             self.used += self.sizes[d]
             self._sanitize_usage()
-            if self._on_fetch_start is not None:
-                self._on_fetch_start(self.gpu, d)
-            self.bus.submit(
+            if self.events.wants(FetchIssued):
+                self.events.publish(
+                    FetchIssued(time=self.engine.now, gpu=self.gpu, data_id=d)
+                )
+            self.router.submit(
                 self.sizes[d],
                 self.gpu,
                 lambda dd=d: self._fetch_done(dd),
@@ -279,21 +300,32 @@ class DeviceMemory:
 
     def evict(self, d: int) -> None:
         """Drop present, unpinned datum ``d`` (no write-back)."""
-        if self.sanitizer is not None:
-            self.sanitizer.on_evict(
-                self.gpu, d, self.is_pinned(d), self.engine.now
-            )
-        if self._state.get(d) is not DataState.PRESENT:
-            raise ValueError(f"cannot evict non-present datum {d}")
-        if self.is_pinned(d):
-            raise ValueError(f"cannot evict pinned datum {d}")
-        del self._state[d]
-        self.used -= self.sizes[d]
-        self._sanitize_usage()
-        self.n_evictions += 1
-        self.policy.on_evict(d)
-        if self._on_evicted is not None:
-            self._on_evicted(self.gpu, d)
+        self._evicting.add(d)
+        try:
+            if self.events.wants(EvictionStarted):
+                self.events.publish(
+                    EvictionStarted(
+                        time=self.engine.now,
+                        gpu=self.gpu,
+                        data_id=d,
+                        pinned=self.is_pinned(d),
+                    )
+                )
+            if self._state.get(d) is not DataState.PRESENT:
+                raise ValueError(f"cannot evict non-present datum {d}")
+            if self.is_pinned(d):
+                raise ValueError(f"cannot evict pinned datum {d}")
+            del self._state[d]
+            self.used -= self.sizes[d]
+            self._sanitize_usage()
+            self.n_evictions += 1
+            self.policy.on_evict(d)
+            if self.events.wants(Evicted):
+                self.events.publish(
+                    Evicted(time=self.engine.now, gpu=self.gpu, data_id=d)
+                )
+        finally:
+            self._evicting.discard(d)
 
     def _fetch_done(self, d: int) -> None:
         assert self._state.get(d) is DataState.FETCHING
@@ -302,12 +334,25 @@ class DeviceMemory:
         self.bytes_loaded += self.sizes[d]
         self.policy.on_insert(d)
         self._drain_pending()
-        self._on_data_ready(self.gpu, d)
+        if self.events.wants(FetchCompleted):
+            self.events.publish(
+                FetchCompleted(
+                    time=self.engine.now,
+                    gpu=self.gpu,
+                    data_id=d,
+                    size=self.sizes[d],
+                )
+            )
 
     def _sanitize_usage(self) -> None:
-        if self.sanitizer is not None:
-            self.sanitizer.on_memory_update(
-                self.gpu, self.used, self.capacity, self.engine.now
+        if self.events.wants(MemoryUsageChanged):
+            self.events.publish(
+                MemoryUsageChanged(
+                    time=self.engine.now,
+                    gpu=self.gpu,
+                    used=self.used,
+                    capacity=self.capacity,
+                )
             )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,84 @@
+"""Transfer routing: which transport serves a data movement.
+
+:class:`repro.simulator.memory.DeviceMemory` asks for bytes; it does not
+care whether they arrive over the shared host PCIe bus, a dedicated
+store (write-back) channel, or an NVLink-style peer link.  All of those
+sit behind the one :class:`TransferRouter` interface:
+
+* :class:`HostRouter` — every transfer rides the one bus it wraps (the
+  paper's base platform: all fetches come from host memory);
+* :class:`repro.simulator.fabric.PeerFabric` — routes a fetch over a
+  peer link when another GPU already holds the datum, falling back to
+  the host bus (the paper's §VI NVLink extension).
+
+Routers also own the host/peer traffic split statistics that
+:class:`repro.simulator.trace.RunResult` reports, so the kernel reads
+them uniformly regardless of the configured transport.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simulator.bus import Bus
+
+
+class TransferRouter:
+    """Source selection + submission interface for data movements.
+
+    Implementations must be deterministic: the same request sequence
+    must pick the same sources and produce the same completion times
+    (the repo's same-seed ⇒ same-trace contract).
+    """
+
+    #: cumulative payload bytes served from host memory
+    bytes_from_host: float = 0.0
+    #: cumulative payload bytes served GPU-to-GPU
+    bytes_from_peer: float = 0.0
+
+    def submit(
+        self,
+        size: float,
+        dst: int,
+        on_complete: Callable[[], None],
+        data_id: Optional[int] = None,
+    ) -> None:
+        """Start moving ``size`` payload bytes to GPU ``dst``.
+
+        ``data_id`` identifies the datum so routing layers can locate
+        alternative sources; transport-agnostic callers always pass it.
+        """
+        raise NotImplementedError
+
+    @property
+    def bytes_transferred(self) -> float:
+        return self.bytes_from_host + self.bytes_from_peer
+
+    def peer_fraction(self) -> float:
+        """Share of traffic served by peer links instead of the host."""
+        total = self.bytes_transferred
+        return self.bytes_from_peer / total if total > 0 else 0.0
+
+
+class HostRouter(TransferRouter):
+    """Trivial router: every transfer goes over the one wrapped bus.
+
+    Used for the paper's base platform (fetches from host memory over
+    the shared PCIe bus) and for the dedicated full-duplex write-back
+    channel of the output-data extension.
+    """
+
+    def __init__(self, bus: Bus) -> None:
+        self.bus = bus
+        self.bytes_from_host = 0.0
+        self.bytes_from_peer = 0.0
+
+    def submit(
+        self,
+        size: float,
+        dst: int,
+        on_complete: Callable[[], None],
+        data_id: Optional[int] = None,
+    ) -> None:
+        self.bytes_from_host += size
+        self.bus.submit(size, dst, on_complete, data_id=data_id)

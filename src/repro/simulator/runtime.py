@@ -1,515 +1,47 @@
 """StarPU-like runtime driving pluggable schedulers over the simulator.
 
-Each GPU runs a worker with a bounded **task buffer** (the paper's
-``taskBuffer_k``): tasks popped from the scheduler whose input fetches
-have been issued (prefetch).  The head task starts executing as soon as
-all its inputs are resident; fetches for deeper tasks overlap with
-execution.  Inputs of the executing task are pinned; buffered tasks'
-inputs are *not*, so an eviction policy may throw them out again — the
-re-fetch then counts as an extra load (the "domino effect" of the paper).
+Compatibility facade.  The runtime used to be one god-class in this
+module; it is now a layered kernel (see :mod:`repro.simulator.kernel`
+for the module map).  :class:`Runtime` keeps the historical constructor
+signature and attribute surface (``engine``, ``memories``, ``workers``,
+``view``, ``trace``, ``sanitizer``…) on top of
+:class:`~repro.simulator.kernel.RuntimeKernel`, so existing callers and
+tests keep working unchanged; :func:`simulate` remains the one-call
+entry point.
 
-Admission control keeps the union of input footprints of the executing
-plus buffered tasks within the GPU memory, which is what guarantees the
-simulation can always make progress.
+Model recap: each GPU runs a worker with a bounded **task buffer** (the
+paper's ``taskBuffer_k``): tasks popped from the scheduler whose input
+fetches have been issued (prefetch).  The head task starts executing as
+soon as all its inputs are resident; fetches for deeper tasks overlap
+with execution.  Inputs of the executing task are pinned; buffered
+tasks' inputs are *not*, so an eviction policy may throw them out again
+— the re-fetch then counts as an extra load (the "domino effect" of the
+paper).  Admission control keeps the union of input footprints of the
+executing plus buffered tasks within the GPU memory, which is what
+guarantees the simulation can always make progress.
 """
 
 from __future__ import annotations
 
-import random
-import time as _time
-from collections import deque
-from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Set, Union
+from typing import Callable, Optional, Union
 
 from repro.core.problem import TaskGraph
 from repro.platform.spec import PlatformSpec
 from repro.schedulers.base import Scheduler
-from repro.simulator.bus import make_bus
-from repro.simulator.engine import EventHandle, SimulationEngine
-from repro.simulator.memory import DeviceMemory, MemoryFullError
-from repro.simulator.sanitizer import Sanitizer, is_enabled as _sanitizer_enabled
-from repro.simulator.trace import GpuStats, RunResult, TraceRecorder
+from repro.simulator.kernel import RuntimeKernel, SimulationDeadlock
+from repro.simulator.sanitizer import Sanitizer
+from repro.simulator.trace import RunResult
+from repro.simulator.view import RuntimeView
+
+__all__ = ["Runtime", "RuntimeView", "SimulationDeadlock", "simulate"]
 
 
-class SimulationDeadlock(Exception):
-    """The event queue drained while tasks remained unexecuted."""
+class Runtime(RuntimeKernel):
+    """One simulated execution of ``graph`` on ``platform`` by ``scheduler``.
 
-
-class RuntimeView:
-    """Read-only window onto runtime state for schedulers and policies."""
-
-    def __init__(self, runtime: "Runtime") -> None:
-        self._rt = runtime
-        self.graph: TaskGraph = runtime.graph
-        self.platform: PlatformSpec = runtime.platform
-        self.rng: random.Random = runtime.rng
-
-    @property
-    def now(self) -> float:
-        return self._rt.engine.now
-
-    @property
-    def n_gpus(self) -> int:
-        return self.platform.n_gpus
-
-    def present(self, gpu: int) -> Set[int]:
-        """Data fully resident on ``gpu``."""
-        return self._rt.memories[gpu].present_set()
-
-    def held(self, gpu: int) -> Set[int]:
-        """Data resident or currently being fetched into ``gpu``."""
-        return self._rt.memories[gpu].held_set()
-
-    def holds(self, gpu: int, d: int) -> bool:
-        return self._rt.memories[gpu].holds(d)
-
-    def missing_inputs(self, gpu: int, task_id: int) -> List[int]:
-        """Inputs of ``task_id`` that ``gpu`` neither has nor is fetching."""
-        mem = self._rt.memories[gpu]
-        return [d for d in self.graph.inputs_of(task_id) if not mem.holds(d)]
-
-    def missing_bytes(self, gpu: int, task_id: int) -> float:
-        """Bytes still to transfer before ``task_id`` could run on ``gpu``."""
-        sizes = self._rt.sizes
-        return sum(sizes[d] for d in self.missing_inputs(gpu, task_id))
-
-    def task_buffer(self, gpu: int) -> List[int]:
-        """Executing task (if any) followed by the buffered tasks."""
-        w = self._rt.workers[gpu]
-        out = [w.executing] if w.executing is not None else []
-        out.extend(w.buffer)
-        return out
-
-    @property
-    def has_dependencies(self) -> bool:
-        return self._rt.dependencies is not None
-
-    def is_released(self, task_id: int) -> bool:
-        """Whether all predecessors of ``task_id`` have completed.
-
-        Always True without dependencies (the paper's base model).
-        """
-        indeg = self._rt._indegree
-        return indeg is None or indeg[task_id] == 0
-
-    def capacity(self, gpu: int) -> float:
-        return self._rt.memories[gpu].capacity
-
-    def gpu_gflops(self, gpu: int) -> float:
-        return self.platform.gpus[gpu].gflops
-
-    def bus_bandwidth(self) -> float:
-        return self.platform.bus.bandwidth
-
-
-@dataclass
-class _Worker:
-    buffer: Deque[int]
-    executing: Optional[int] = None
-    staged: Optional[int] = None  # task held back by admission control
-    exhausted: bool = False  # scheduler returned None on the last poll
-    #: virtual time at which this GPU's scheduler thread is next free;
-    #: decisions execute sequentially on it
-    sched_free_at: float = 0.0
-    #: pending wake-up for a decision-gated head task
-    gate_event: Optional[EventHandle] = None
-
-
-class Runtime:
-    """One simulated execution of ``graph`` on ``platform`` by ``scheduler``."""
-
-    def __init__(
-        self,
-        graph: TaskGraph,
-        platform: PlatformSpec,
-        scheduler: Scheduler,
-        eviction: Union[str, Callable[[int, RuntimeView], object]] = "lru",
-        window: int = 2,
-        seed: int = 0,
-        record_trace: bool = False,
-        decision_op_cost: float = 5e-8,
-        dependencies: Optional[object] = None,
-        sanitize: Union[None, bool, Sanitizer] = None,
-    ) -> None:
-        if window < 1:
-            raise ValueError("task buffer window must be >= 1")
-        if decision_op_cost < 0:
-            raise ValueError("decision_op_cost must be >= 0")
-        self.graph = graph
-        self.platform = platform
-        self.scheduler = scheduler
-        self.window = window
-        self.rng = random.Random(seed)
-        # Invariant sanitizer: explicit instance > explicit bool > the
-        # module-level switch (turned on for the whole test suite).
-        self.sanitizer: Optional[Sanitizer]
-        if isinstance(sanitize, Sanitizer):
-            self.sanitizer = sanitize
-        else:
-            wanted = _sanitizer_enabled() if sanitize is None else sanitize
-            self.sanitizer = Sanitizer() if wanted else None
-        self.engine = SimulationEngine()
-        self.engine.observer = self.sanitizer
-        self.bus = make_bus(self.engine, platform.bus)
-        self.bus.observer = self.sanitizer
-        # PCIe is full duplex: device→host write-backs (the output
-        # extension) ride their own channel and overlap with fetches —
-        # the paper's "transferred concurrently with data input".
-        self.store_bus = (
-            make_bus(self.engine, platform.bus) if graph.has_outputs else None
-        )
-        if self.store_bus is not None:
-            self.store_bus.observer = self.sanitizer
-        self.fabric = None
-        if platform.peer_link is not None:
-            from repro.simulator.fabric import PeerFabric
-
-            self.fabric = PeerFabric(
-                self.engine, self.bus, platform.peer_link, platform.n_gpus
-            )
-        self.sizes = [d.size for d in graph.data]
-        self.trace = TraceRecorder(enabled=record_trace)
-        self.view = RuntimeView(self)
-
-        # Output-data extension: produced data are not in host memory
-        # until their eager write-back completes.
-        self._host_resident: List[bool] = [
-            not graph.is_produced(d) for d in range(graph.n_data)
-        ]
-
-        # Eviction policies are created per GPU via repro.eviction.
-        from repro.eviction import make_policy
-
-        self.memories: List[DeviceMemory] = []
-        for k, gpu in enumerate(platform.gpus):
-            policy = (
-                eviction(k, self.view)
-                if callable(eviction)
-                else make_policy(eviction, k, self.view, scheduler)
-            )
-            self.memories.append(
-                DeviceMemory(
-                    engine=self.engine,
-                    bus=self.fabric if self.fabric is not None else self.bus,
-                    gpu_index=k,
-                    capacity_bytes=gpu.memory_bytes,
-                    data_sizes=self.sizes,
-                    policy=policy,
-                    on_data_ready=self._on_data_ready,
-                    on_evicted=self._on_evicted,
-                    on_fetch_start=lambda g, d: self.trace.record(
-                        self.engine.now, "fetch_start", g, d
-                    ),
-                    data_available=(
-                        self._is_data_available if graph.has_outputs else None
-                    ),
-                    sanitizer=self.sanitizer,
-                )
-            )
-
-        if self.fabric is not None:
-            self.fabric.attach(self.memories)
-
-        self.workers = [
-            _Worker(buffer=deque()) for _ in range(platform.n_gpus)
-        ]
-        self.stats = [GpuStats() for _ in range(platform.n_gpus)]
-        self.executed_order: List[List[int]] = [
-            [] for _ in range(platform.n_gpus)
-        ]
-        self.decision_op_cost = decision_op_cost
-        # Optional task dependencies (the paper's §VI extension): tasks
-        # are released to schedulers once all predecessors completed.
-        self.dependencies = None
-        self._indegree: Optional[List[int]] = None
-        if dependencies is not None:
-            from repro.dag.deps import DependencySet
-
-            if not isinstance(dependencies, DependencySet):
-                dependencies = DependencySet(graph.n_tasks, dependencies)
-            dependencies.validate(graph)
-            self.dependencies = dependencies
-            self._indegree = dependencies.indegrees()
-        #: virtual start gate per popped task (decision pipeline)
-        self._task_gate: Dict[int, float] = {}
-        self._virtual_decision_time = 0.0
-        if graph.has_outputs:
-            self._validate_producer_consumer()
-        self._remaining = graph.n_tasks
-        self._decision_time = 0.0
-        self._prepare_time = 0.0
-        self._finished = False
-        # Workers only react to events once run() has begun; this lets
-        # tests drive memories/buses directly through an idle Runtime.
-        self._started = False
-
-    # ------------------------------------------------------------------
-    # main entry
-    # ------------------------------------------------------------------
-    def run(self) -> RunResult:
-        t0 = _time.perf_counter()
-        self.scheduler.prepare(self.view)
-        self._prepare_time = _time.perf_counter() - t0
-
-        self._started = True
-        self._poke_all()
-        self.engine.run()
-
-        if self._remaining > 0:
-            self._raise_deadlock()
-        for mem in self.memories:
-            mem.check_invariants()
-        if self.sanitizer is not None:
-            self.sanitizer.after_run(self)
-
-        result = RunResult(
-            scheduler=self.scheduler.name,
-            n_gpus=self.platform.n_gpus,
-            makespan=self.engine.now,
-            total_flops=self.graph.total_flops,
-            gpus=self.stats,
-            scheduling_time=self._prepare_time + self._decision_time,
-            prepare_time=self._prepare_time,
-            decision_wall_time=self._decision_time,
-            virtual_decision_time=self._virtual_decision_time,
-            trace=self.trace if self.trace.enabled else None,
-            trace_digest=self.trace.digest() if self.trace.enabled else None,
-            executed_order=self.executed_order,
-        )
-        for k, mem in enumerate(self.memories):
-            self.stats[k].n_loads = mem.n_loads
-            self.stats[k].bytes_loaded = mem.bytes_loaded
-            self.stats[k].n_evictions = mem.n_evictions
-        if self.fabric is not None:
-            result.bytes_from_peer = self.fabric.bytes_from_peer
-            result.bytes_from_host = self.fabric.bytes_from_host
-        else:
-            result.bytes_from_host = result.total_bytes
-        return result
-
-    # ------------------------------------------------------------------
-    # worker state machine
-    # ------------------------------------------------------------------
-    def _poke_all(self) -> None:
-        for k in range(self.platform.n_gpus):
-            self._poke(k)
-
-    def _poke(self, gpu: int) -> None:
-        self._fill_buffer(gpu)
-        self._try_start(gpu)
-
-    def _fill_buffer(self, gpu: int) -> None:
-        w = self.workers[gpu]
-        while len(w.buffer) < self.window:
-            if w.staged is not None:
-                task = w.staged
-                w.staged = None
-            else:
-                t0 = _time.perf_counter()
-                task = self.scheduler.next_task(gpu)
-                self._decision_time += _time.perf_counter() - t0
-                cost = self.scheduler.consume_ops() * self.decision_op_cost
-                if cost > 0:
-                    # Decisions run sequentially on the GPU's scheduler
-                    # thread; the decided task cannot start before the
-                    # decision completes (in virtual time).
-                    start = max(w.sched_free_at, self.engine.now)
-                    w.sched_free_at = start + cost
-                    self._virtual_decision_time += cost
-                    if task is not None:
-                        self._task_gate[task] = w.sched_free_at
-                if task is None:
-                    w.exhausted = True
-                    return
-                w.exhausted = False
-            if not self._admit(gpu, task):
-                w.staged = task
-                return
-            is_head = not w.buffer
-            w.buffer.append(task)
-            inputs = self.graph.inputs_of(task)
-            # The head task's inputs protect each other from eviction
-            # (the paper's V(k,i) ∩ D(T_σ(k,i)) = ∅ rule); deeper
-            # prefetches get no such protection.
-            protected = inputs if is_head else ()
-            for d in inputs:
-                self.memories[gpu].request(d, protected=protected)
-
-    def _admit(self, gpu: int, task: int) -> bool:
-        """Admission control: buffered footprints must fit in memory."""
-        w = self.workers[gpu]
-        active = list(w.buffer)
-        if w.executing is not None:
-            active.append(w.executing)
-        tk = self.graph.tasks[task]
-        footprint: Set[int] = set(tk.inputs) | set(tk.outputs)
-        for t in active:
-            other = self.graph.tasks[t]
-            footprint.update(other.inputs)
-            footprint.update(other.outputs)
-        need = sum(self.sizes[d] for d in footprint)
-        if need <= self.memories[gpu].capacity:
-            return True
-        if not active:
-            raise MemoryFullError(
-                f"task {task} alone needs {need:.0f}B on GPU {gpu} "
-                f"(capacity {self.memories[gpu].capacity:.0f}B)"
-            )
-        return False
-
-    def _try_start(self, gpu: int) -> None:
-        w = self.workers[gpu]
-        if w.executing is not None or not w.buffer:
-            return
-        head = w.buffer[0]
-        gate = self._task_gate.get(head, 0.0)
-        if self.engine.now < gate:
-            # The scheduling decision for this task is still "running";
-            # wake up when it completes.
-            if w.gate_event is None or w.gate_event.cancelled:
-                w.gate_event = self.engine.schedule_at(
-                    gate, lambda: self._gate_expired(gpu)
-                )
-            return
-        mem = self.memories[gpu]
-        inputs = self.graph.inputs_of(head)
-        outputs = self.graph.outputs_of(head)
-        ready = True
-        for d in inputs:
-            if not mem.is_present(d):
-                # Re-request anything evicted meanwhile, shielding the
-                # head task's other inputs from being evicted for it.
-                mem.request(d, protected=inputs)
-                ready = False
-        if not ready:
-            return
-        protected = tuple(inputs) + tuple(outputs)
-        for o in outputs:
-            if not mem.allocate_output(o, protected=protected):
-                return  # no space yet; retried on the next poke
-        w.buffer.popleft()
-        self._task_gate.pop(head, None)
-        w.executing = head
-        for d in inputs:
-            mem.touch(d)
-            mem.pin(d)
-        if self.sanitizer is not None:
-            self.sanitizer.on_task_start(
-                gpu, head, inputs, mem, self.engine.now
-            )
-        duration = self.graph.tasks[head].flops / (
-            self.platform.gpus[gpu].gflops * 1e9
-        )
-        self.trace.record(self.engine.now, "task_start", gpu, head)
-        self.engine.schedule(
-            duration, lambda: self._on_task_done(gpu, head, duration)
-        )
-        # Execution frees a buffer slot: pull more work to prefetch.
-        self._fill_buffer(gpu)
-
-    def _gate_expired(self, gpu: int) -> None:
-        self.workers[gpu].gate_event = None
-        self._poke(gpu)
-
-    # ------------------------------------------------------------------
-    # output-data extension
-    # ------------------------------------------------------------------
-    def _validate_producer_consumer(self) -> None:
-        """Consumers of produced data must depend on the producer."""
-        for d in range(self.graph.n_data):
-            producer = self.graph.producer_of(d)
-            if producer is None:
-                continue
-            for user in self.graph.users_of(d):
-                if self.dependencies is None or (
-                    producer not in self.dependencies.preds[user]
-                ):
-                    raise ValueError(
-                        f"task {user} reads produced datum {d} but does "
-                        f"not depend on its producer {producer}; pass the "
-                        "producer→consumer edges via dependencies="
-                    )
-
-    def _is_data_available(self, d: int) -> bool:
-        """Can ``d`` be fetched right now (host copy or reachable peer)?"""
-        if self._host_resident[d]:
-            return True
-        if self.fabric is not None:
-            return any(mem.is_present(d) for mem in self.memories)
-        return False
-
-    def _store_done(self, gpu: int, d: int) -> None:
-        self._host_resident[d] = True
-        self.memories[gpu].unpin(d)
-        self.trace.record(self.engine.now, "store_end", gpu, d)
-        for mem in self.memories:
-            mem.retry_pending()
-        self._poke_all()
-
-    def _on_task_done(self, gpu: int, task: int, duration: float) -> None:
-        w = self.workers[gpu]
-        assert w.executing == task
-        mem = self.memories[gpu]
-        for d in self.graph.inputs_of(task):
-            mem.unpin(d)
-        # Outputs become resident data and are eagerly written back to
-        # the host over the bus; they stay pinned until the store lands.
-        for o in self.graph.outputs_of(task):
-            mem.mark_produced(o)
-            self.stats[gpu].bytes_stored += self.sizes[o]
-            self.stats[gpu].n_stores += 1
-            self.trace.record(self.engine.now, "store_start", gpu, o)
-            self.store_bus.submit(
-                self.sizes[o],
-                gpu,
-                lambda oo=o, g=gpu: self._store_done(g, oo),
-            )
-        w.executing = None
-        st = self.stats[gpu]
-        st.n_tasks += 1
-        st.busy_time += duration
-        st.flops += self.graph.tasks[task].flops
-        self.executed_order[gpu].append(task)
-        self.trace.record(self.engine.now, "task_end", gpu, task)
-        self._remaining -= 1
-
-        if self.dependencies is not None:
-            for succ in self.dependencies.succs[task]:
-                self._indegree[succ] -= 1
-
-        t0 = _time.perf_counter()
-        self.scheduler.task_done(gpu, task)
-        self._decision_time += _time.perf_counter() - t0
-
-        # Completion may unblock anyone (stealing, DARTS refills, fetches).
-        self._poke_all()
-
-    def _on_data_ready(self, gpu: int, d: int) -> None:
-        self.trace.record(self.engine.now, "fetch_end", gpu, d)
-        if not self._started:
-            return
-        t0 = _time.perf_counter()
-        self.scheduler.on_data_loaded(gpu, d)
-        self._decision_time += _time.perf_counter() - t0
-        self._poke(gpu)
-
-    def _on_evicted(self, gpu: int, d: int) -> None:
-        self.trace.record(self.engine.now, "evict", gpu, d)
-        if self._started:
-            self.scheduler.on_data_evicted(gpu, d)
-
-    # ------------------------------------------------------------------
-    def _raise_deadlock(self) -> None:
-        lines = [f"{self._remaining}/{self.graph.n_tasks} tasks never ran"]
-        for k, w in enumerate(self.workers):
-            mem = self.memories[k]
-            lines.append(
-                f"  gpu{k}: executing={w.executing} buffer={list(w.buffer)} "
-                f"staged={w.staged} exhausted={w.exhausted} "
-                f"used={mem.used:.0f}/{mem.capacity:.0f}B "
-                f"fetching={sorted(mem.fetching_set())}"
-            )
-        raise SimulationDeadlock("\n".join(lines))
+    Thin alias of :class:`~repro.simulator.kernel.RuntimeKernel`; kept
+    so ``repro.simulator.runtime.Runtime`` stays the stable public name.
+    """
 
 
 def simulate(

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulator.bus import Bus
+    from repro.simulator.events import EventStream
     from repro.simulator.memory import DeviceMemory
     from repro.simulator.runtime import Runtime
 
@@ -115,7 +116,43 @@ class Sanitizer:
             raise SanitizerError(v.format())
 
     # ------------------------------------------------------------------
-    # engine observer (SAN005)
+    # event-stream wiring
+    # ------------------------------------------------------------------
+    def subscribe_to(
+        self, stream: "EventStream", memories: Sequence["DeviceMemory"]
+    ) -> None:
+        """Attach every online check to ``stream``.
+
+        ``memories`` lets the SAN002 task-start check inspect residency
+        and pinning on the GPU the task starts on.  The kernel registers
+        the sanitizer *first*, so violations are raised before trace
+        recording or control reactions run for the same event.
+        """
+        from repro.simulator import events as ev
+
+        stream.subscribe(
+            lambda e: self.on_event(e.time, e.now), ev.EngineStep
+        )
+        stream.subscribe(
+            lambda e: self.on_memory_update(e.gpu, e.used, e.capacity, e.time),
+            ev.MemoryUsageChanged,
+        )
+        stream.subscribe(
+            lambda e: self.on_evict(e.gpu, e.data_id, e.pinned, e.time),
+            ev.EvictionStarted,
+        )
+        stream.subscribe(
+            lambda e: self.on_transfer(e.bus, e.time), ev.TransferCompleted
+        )
+        stream.subscribe(
+            lambda e: self.on_task_start(
+                e.gpu, e.task, e.inputs, memories[e.gpu], e.time
+            ),
+            ev.TaskStarted,
+        )
+
+    # ------------------------------------------------------------------
+    # engine events (SAN005)
     # ------------------------------------------------------------------
     def on_event(self, time: float, now: float) -> None:
         """Called by the engine before firing the event at ``time``."""

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.events import EventStream, RuntimeEvent
 
 
 @dataclass(frozen=True)
@@ -45,6 +48,39 @@ class TraceRecorder:
         for e in self.events:
             h.update(f"{e.time!r}|{e.kind}|{e.gpu}|{e.ref}\n".encode())
         return h.hexdigest()
+
+    def subscribe_to(self, stream: "EventStream") -> None:
+        """Record runtime events published on ``stream``.
+
+        Subscribes one handler per event type so the kind mapping is a
+        plain attribute read, not an isinstance chain.  When recording is
+        disabled nothing is subscribed at all: the publishers' ``wants``
+        guards then skip event construction entirely, keeping the fetch
+        hot path free of tracing overhead.
+        """
+        if not self.enabled:
+            return
+        from repro.simulator import events as ev
+
+        def data_kind(kind: str):
+            def handler(e: "RuntimeEvent") -> None:
+                self.record(e.time, kind, e.gpu, e.data_id)  # type: ignore[attr-defined]
+
+            return handler
+
+        def task_kind(kind: str):
+            def handler(e: "RuntimeEvent") -> None:
+                self.record(e.time, kind, e.gpu, e.task)  # type: ignore[attr-defined]
+
+            return handler
+
+        stream.subscribe(task_kind("task_start"), ev.TaskStarted)
+        stream.subscribe(task_kind("task_end"), ev.TaskCompleted)
+        stream.subscribe(data_kind("fetch_start"), ev.FetchIssued)
+        stream.subscribe(data_kind("fetch_end"), ev.FetchCompleted)
+        stream.subscribe(data_kind("evict"), ev.Evicted)
+        stream.subscribe(data_kind("store_start"), ev.WriteBackStarted)
+        stream.subscribe(data_kind("store_end"), ev.WriteBackCompleted)
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == kind]

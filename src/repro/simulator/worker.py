@@ -1,0 +1,167 @@
+"""Per-GPU worker: task-buffer state and the execution state machine.
+
+Each GPU runs one :class:`Worker` holding a :class:`WorkerState` — the
+bounded task buffer (the paper's ``taskBuffer_k``), the currently
+executing task, a task staged by admission control, and the decision
+gate bookkeeping.  The worker starts the head task once all its inputs
+are resident (pinning them for the duration), completes it, hands
+outputs to the write-back channel, and notifies the scheduler.
+
+Workers publish :class:`~repro.simulator.events.TaskStarted`,
+:class:`~repro.simulator.events.TaskCompleted` and
+:class:`~repro.simulator.events.WriteBackStarted` on the kernel's event
+stream; trace recording, invariant checking and statistics are
+subscribers, not inlined concerns.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Optional
+
+from repro.simulator.engine import EventHandle
+from repro.simulator.events import TaskCompleted, TaskStarted, WriteBackStarted
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.kernel import RuntimeKernel
+
+
+@dataclass
+class WorkerState:
+    """Mutable per-GPU scheduling state (exposed via ``kernel.workers``)."""
+
+    buffer: Deque[int] = field(default_factory=deque)
+    executing: Optional[int] = None
+    staged: Optional[int] = None  # task held back by admission control
+    exhausted: bool = False  # scheduler returned None on the last poll
+    #: virtual time at which this GPU's scheduler thread is next free;
+    #: decisions execute sequentially on it
+    sched_free_at: float = 0.0
+    #: pending wake-up for a decision-gated head task
+    gate_event: Optional[EventHandle] = None
+
+
+class Worker:
+    """Execution loop of one GPU: start the head task, complete it."""
+
+    __slots__ = ("kernel", "gpu", "state")
+
+    def __init__(
+        self, kernel: "RuntimeKernel", gpu: int, state: WorkerState
+    ) -> None:
+        self.kernel = kernel
+        self.gpu = gpu
+        self.state = state
+
+    def try_start(self) -> None:
+        """Start the buffered head task if its inputs are all resident."""
+        k = self.kernel
+        w = self.state
+        gpu = self.gpu
+        if w.executing is not None or not w.buffer:
+            return
+        head = w.buffer[0]
+        gate = k._task_gate.get(head, 0.0)
+        if k.engine.now < gate:
+            # The scheduling decision for this task is still "running";
+            # wake up when it completes.
+            if w.gate_event is None or w.gate_event.cancelled:
+                w.gate_event = k.engine.schedule_at(gate, self._gate_expired)
+            return
+        mem = k.memories[gpu]
+        inputs = k.graph.inputs_of(head)
+        outputs = k.graph.outputs_of(head)
+        ready = True
+        for d in inputs:
+            if not mem.is_present(d):
+                # Re-request anything evicted meanwhile, shielding the
+                # head task's other inputs from being evicted for it.
+                mem.request(d, protected=inputs)
+                ready = False
+        if not ready:
+            return
+        protected = tuple(inputs) + tuple(outputs)
+        for o in outputs:
+            if not mem.allocate_output(o, protected=protected):
+                return  # no space yet; retried on the next poke
+        w.buffer.popleft()
+        k._task_gate.pop(head, None)
+        w.executing = head
+        for d in inputs:
+            mem.touch(d)
+            mem.pin(d)
+        if k.events.wants(TaskStarted):
+            k.events.publish(
+                TaskStarted(
+                    time=k.engine.now,
+                    gpu=gpu,
+                    task=head,
+                    inputs=tuple(inputs),
+                )
+            )
+        duration = k.graph.tasks[head].flops / (
+            k.platform.gpus[gpu].gflops * 1e9
+        )
+        k.engine.schedule(duration, lambda: self._on_task_done(head, duration))
+        # Execution frees a buffer slot: pull more work to prefetch.
+        k.prefetcher.fill_buffer(gpu)
+
+    def _gate_expired(self) -> None:
+        self.state.gate_event = None
+        self.kernel._poke(self.gpu)
+
+    def _on_task_done(self, task: int, duration: float) -> None:
+        k = self.kernel
+        w = self.state
+        gpu = self.gpu
+        assert w.executing == task
+        mem = k.memories[gpu]
+        for d in k.graph.inputs_of(task):
+            mem.unpin(d)
+        # Outputs become resident data and are eagerly written back to
+        # the host over the bus; they stay pinned until the store lands.
+        for o in k.graph.outputs_of(task):
+            mem.mark_produced(o)
+            if k.events.wants(WriteBackStarted):
+                k.events.publish(
+                    WriteBackStarted(
+                        time=k.engine.now,
+                        gpu=gpu,
+                        data_id=o,
+                        size=k.sizes[o],
+                    )
+                )
+            k.store_router.submit(
+                k.sizes[o],
+                gpu,
+                lambda oo=o: k._store_done(gpu, oo),
+            )
+        w.executing = None
+        k.executed_order[gpu].append(task)
+        if k.events.wants(TaskCompleted):
+            k.events.publish(
+                TaskCompleted(
+                    time=k.engine.now,
+                    gpu=gpu,
+                    task=task,
+                    duration=duration,
+                    flops=k.graph.tasks[task].flops,
+                )
+            )
+        k._remaining -= 1
+
+        if k.dependencies is not None:
+            for succ in k.dependencies.succs[task]:
+                k._indegree[succ] -= 1
+
+        t0 = _time.perf_counter()
+        k.scheduler.task_done(gpu, task)
+        k._decision_time += _time.perf_counter() - t0
+
+        # Completion may unblock anyone (stealing, DARTS refills, fetches).
+        k._poke_all()
+
+
+__all__ = ["Worker", "WorkerState"]

@@ -52,7 +52,15 @@ class TestExitCodes:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("DET001", "DET002", "DET003", "DET004", "API001", "API002"):
+        for code in (
+            "DET001",
+            "DET002",
+            "DET003",
+            "DET004",
+            "API001",
+            "API002",
+            "API003",
+        ):
             assert code in out
 
 

@@ -23,9 +23,15 @@ class TestRegistry:
         rules = all_rules()
         codes = [r.code for r in rules]
         assert len(codes) == len(set(codes))
-        assert {"DET001", "DET002", "DET003", "DET004", "API001", "API002"} <= set(
-            codes
-        )
+        assert {
+            "DET001",
+            "DET002",
+            "DET003",
+            "DET004",
+            "API001",
+            "API002",
+            "API003",
+        } <= set(codes)
 
     def test_rules_carry_descriptions(self):
         for rule in all_rules():

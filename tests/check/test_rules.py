@@ -2,6 +2,8 @@
 
 from pathlib import Path
 
+import pytest
+
 from repro.check.lint.framework import Linter
 
 
@@ -87,12 +89,27 @@ class TestDET002WallClock:
         )
         assert "DET002" in codes(violations)
 
-    def test_perf_counter_whitelisted_in_runtime(self, tmp_path):
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro/simulator/kernel.py",
+            "repro/simulator/prefetch.py",
+            "repro/simulator/worker.py",
+        ],
+    )
+    def test_perf_counter_whitelisted_in_kernel_layers(self, tmp_path, module):
+        src = "import time as _time\nt = _time.perf_counter()\n"
+        violations = lint(tmp_path, src, filename=module)
+        assert codes(violations) == []
+
+    def test_perf_counter_flagged_in_runtime_facade(self, tmp_path):
+        # The facade no longer times scheduler calls; the whitelist
+        # moved to the kernel layers that do.
         src = "import time as _time\nt = _time.perf_counter()\n"
         violations = lint(
             tmp_path, src, filename="repro/simulator/runtime.py"
         )
-        assert codes(violations) == []
+        assert "DET002" in codes(violations)
 
 
 class TestDET003UnorderedIteration:
@@ -195,6 +212,46 @@ class TestAPIConformance:
 
         problems = validate_policy_class(Lazy, "lazy")
         assert any("choose_victim" in p for p in problems)
+
+    def test_api003_rt_access_flagged_in_scheduler(self, tmp_path):
+        src = (
+            "class Greedy:\n"
+            "    def prepare(self, view):\n"
+            "        self.mem = view._rt.memories[0]\n"
+        )
+        violations = lint(tmp_path, src, filename="repro/schedulers/greedy.py")
+        assert "API003" in codes(violations)
+
+    def test_api003_view_attribute_assignment_flagged(self, tmp_path):
+        src = (
+            "class Policy:\n"
+            "    def on_insert(self, d):\n"
+            "        self.view.graph.tasks = []\n"
+        )
+        violations = lint(tmp_path, src, filename="repro/eviction/hacky.py")
+        assert "API003" in codes(violations)
+
+    def test_api003_augmented_assignment_flagged(self, tmp_path):
+        src = "def f(view):\n    view.platform.n_gpus += 1\n"
+        violations = lint(tmp_path, src, filename="repro/schedulers/mut.py")
+        assert "API003" in codes(violations)
+
+    def test_api003_reads_through_view_are_fine(self, tmp_path):
+        src = (
+            "class Greedy:\n"
+            "    def prepare(self, view):\n"
+            "        self.view = view\n"
+            "        self.caps = [view.capacity(k) for k in range(view.n_gpus)]\n"
+            "    def next_task(self, gpu):\n"
+            "        return sorted(self.view.present(gpu))\n"
+        )
+        violations = lint(tmp_path, src, filename="repro/schedulers/ok.py")
+        assert codes(violations) == []
+
+    def test_api003_silent_outside_strategy_packages(self, tmp_path):
+        src = "def f(view):\n    view._rt.workers[0].buffer.clear()\n"
+        violations = lint(tmp_path, src, filename="repro/simulator/helper.py")
+        assert "API003" not in codes(violations)
 
     def test_project_rules_run_via_linter(self, tmp_path):
         """Project rules execute once per linted root and stay silent on

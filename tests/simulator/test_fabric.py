@@ -6,6 +6,9 @@ from repro.platform.spec import BusSpec, GpuSpec, PlatformSpec, tesla_v100_node
 from repro.schedulers.eager import Eager
 from repro.schedulers.fixed import FixedSchedule
 from repro.core.schedule import Schedule
+from repro.simulator.bus import FifoBus
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.fabric import PeerFabric
 from repro.simulator.runtime import simulate
 from repro.workloads.matmul2d import matmul2d
 
@@ -92,6 +95,87 @@ class TestPeerSemantics:
         b = simulate(figure1_graph, peer_platform(memory=3.0), Eager(), seed=7)
         assert a.makespan == b.makespan
         assert a.bytes_from_peer == b.bytes_from_peer
+
+
+class StubMemory:
+    """Just enough DeviceMemory surface for source-selection tests."""
+
+    def __init__(self, present=(), evicting=()):
+        self._present = set(present)
+        self._evicting = set(evicting)
+        self.pinned = []
+
+    def is_present(self, d):
+        return d in self._present
+
+    def is_evicting(self, d):
+        return d in self._evicting
+
+    def pin(self, d):
+        self.pinned.append(d)
+
+    def unpin(self, d):
+        self.pinned.remove(d)
+
+
+def make_fabric(memories):
+    eng = SimulationEngine()
+    host = FifoBus(eng, BusSpec(bandwidth=1.0, latency=0.0, model="fifo"))
+    fabric = PeerFabric(
+        eng,
+        host,
+        BusSpec(bandwidth=10.0, latency=0.0, model="fair"),
+        n_gpus=len(memories),
+    )
+    fabric.attach(memories)
+    return eng, fabric
+
+
+class TestSourceSelection:
+    def test_lowest_index_tie_break(self):
+        _, fabric = make_fabric(
+            [StubMemory(present={5}), StubMemory(present={5}), StubMemory()]
+        )
+        assert fabric._locate(5, dst=2) == 0
+
+    def test_destination_never_chosen(self):
+        _, fabric = make_fabric([StubMemory(present={5}), StubMemory()])
+        assert fabric._locate(5, dst=0) is None
+
+    def test_skips_source_mid_eviction(self):
+        """Regression: the lowest-index GPU used to be chosen even while
+        its copy was mid-eviction (between victim selection and state
+        removal), handing the peer transfer a copy that no longer exists
+        by the time it would read it."""
+        _, fabric = make_fabric(
+            [
+                StubMemory(present={5}, evicting={5}),
+                StubMemory(present={5}),
+                StubMemory(),
+            ]
+        )
+        assert fabric._locate(5, dst=2) == 1
+
+    def test_falls_back_to_host_when_all_copies_evicting(self):
+        eng, fabric = make_fabric(
+            [StubMemory(present={5}, evicting={5}), StubMemory()]
+        )
+        assert fabric._locate(5, dst=1) is None
+        done = []
+        fabric.submit(1.0, dst=1, on_complete=lambda: done.append(True))
+        eng.run()
+        assert done == [True]
+        assert fabric.bytes_from_host == 1.0
+        assert fabric.bytes_from_peer == 0.0
+
+    def test_peer_source_pinned_until_copy_lands(self):
+        src = StubMemory(present={5})
+        eng, fabric = make_fabric([src, StubMemory()])
+        fabric.submit(1.0, dst=1, on_complete=lambda: None, data_id=5)
+        assert src.pinned == [5]  # in flight: copy protected
+        eng.run()
+        assert src.pinned == []  # landed: pin released
+        assert fabric.bytes_from_peer == 1.0
 
 
 class TestPreset:

@@ -5,12 +5,14 @@ import pytest
 from repro.platform.spec import BusSpec
 from repro.simulator.bus import FifoBus
 from repro.simulator.engine import SimulationEngine
+from repro.simulator.events import Evicted, FetchCompleted
 from repro.simulator.memory import (
     DataState,
     DeviceMemory,
     EvictionPolicyProtocol,
     MemoryFullError,
 )
+from repro.simulator.routing import HostRouter
 
 
 class ScriptedPolicy(EvictionPolicyProtocol):
@@ -36,19 +38,24 @@ class ScriptedPolicy(EvictionPolicyProtocol):
 
 def make_memory(capacity=4.0, sizes=None, bandwidth=1.0):
     eng = SimulationEngine()
-    bus = FifoBus(eng, BusSpec(bandwidth=bandwidth, latency=0.0, model="fifo"))
+    bus = FifoBus(
+        eng,
+        BusSpec(bandwidth=bandwidth, latency=0.0, model="fifo"),
+        events=eng.events,
+    )
     ready, evicted = [], []
     policy = ScriptedPolicy()
     mem = DeviceMemory(
         engine=eng,
-        bus=bus,
+        router=HostRouter(bus),
         gpu_index=0,
         capacity_bytes=capacity,
         data_sizes=sizes or [1.0] * 10,
         policy=policy,
-        on_data_ready=lambda g, d: ready.append(d),
-        on_evicted=lambda g, d: evicted.append(d),
+        events=eng.events,
     )
+    eng.events.subscribe(lambda e: ready.append(e.data_id), FetchCompleted)
+    eng.events.subscribe(lambda e: evicted.append(e.data_id), Evicted)
     return eng, mem, policy, ready, evicted
 
 
@@ -211,12 +218,11 @@ class TestQueriesAndInvariants:
         bus = FifoBus(eng, BusSpec(bandwidth=1.0, latency=0.0, model="fifo"))
         mem = DeviceMemory(
             engine=eng,
-            bus=bus,
+            router=HostRouter(bus),
             gpu_index=0,
             capacity_bytes=1.0,
             data_sizes=[1.0] * 4,
             policy=Rogue(),
-            on_data_ready=lambda g, d: None,
         )
         mem.request(0)
         eng.run()

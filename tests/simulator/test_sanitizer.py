@@ -51,11 +51,30 @@ class TestCleanRuns:
         assert san.violations == []
 
     def test_global_enable_attaches_sanitizer(self):
+        from repro.simulator.events import (
+            EngineStep,
+            EvictionStarted,
+            MemoryUsageChanged,
+            TaskStarted,
+            TransferCompleted,
+        )
+
         with sanitized():
             rt = Runtime(small_graph(), toy_platform(memory=6.0), Eager())
         assert rt.sanitizer is not None
-        assert rt.engine.observer is rt.sanitizer
-        assert rt.memories[0].sanitizer is rt.sanitizer
+        # The sanitizer's checks ride the shared event stream, which the
+        # engine, buses and memories all publish on.
+        for et in (
+            EngineStep,
+            MemoryUsageChanged,
+            EvictionStarted,
+            TransferCompleted,
+            TaskStarted,
+        ):
+            assert rt.events.wants(et)
+        assert rt.engine.events is rt.events
+        assert rt.memories[0].events is rt.events
+        assert rt.bus.events is rt.events
 
     def test_explicit_false_overrides_global_enable(self):
         with sanitized():
