@@ -14,6 +14,11 @@ API-conformance rules (``API``)
     API003  scheduler/eviction code must not mutate runtime internals;
             everything goes through the read-only ``RuntimeView``
 
+Performance rules (``PERF``)
+    PERF001 filtered full-dict rescans (``self.X.items()`` under an
+            ``if``) in simulator hot paths; maintain the derived set
+            incrementally on state transitions instead
+
 The determinism rules exist because every figure in the paper's
 evaluation rests on "same seed ⇒ same trace" (DESIGN.md decision 5):
 one wall-clock read or one iteration over a ``set`` feeding a
@@ -441,6 +446,95 @@ class FloatTimeEqualityRule(Rule):
                         "==/!= on a simulated float time; compare with a "
                         "tolerance or order via the event heap",
                     )
+
+
+#: packages whose per-event code runs once per simulated event — the
+#: simulator hot paths the core optimization keeps rescan-free
+HOT_PACKAGES: Tuple[str, ...] = (
+    "repro.simulator",
+    "repro.schedulers",
+    "repro.eviction",
+)
+
+#: functions where a full rescan is the *point* (one-time setup and
+#: verification code), exempt from PERF001
+_COLD_NAMES = frozenset({"__init__", "prepare"})
+_COLD_PREFIXES = ("check_", "_build", "enable_", "_sanitize")
+
+
+def _in_hot_path(module: str) -> bool:
+    return any(
+        module == pkg or module.startswith(pkg + ".")
+        for pkg in HOT_PACKAGES
+    )
+
+
+@register
+class FullRescanRule(Rule):
+    """PERF001: no filtered full-dict rescans in simulator hot paths.
+
+    A comprehension that filters ``self.X.items()`` (or ``.keys()`` /
+    ``.values()``) derives a subset of a per-datum/per-task store by
+    scanning all of it — O(store) work on a path that runs once per
+    simulated event.  The repo's hot-path contract (DESIGN.md, "Modeled
+    cost vs implementation speed") is to maintain such derived sets
+    incrementally on state transitions and reserve full rescans for
+    setup (``__init__``/``prepare``/``_build*``/``enable_*``) and
+    verification (``check_*``/``_sanitize*``) code, where this rule
+    stays silent.
+    """
+
+    code = "PERF001"
+    name = "full-rescan"
+    description = (
+        "no filtered self.X.items() rescans in simulator hot paths; "
+        "maintain derived sets incrementally"
+    )
+
+    _COMPS = (ast.SetComp, ast.ListComp, ast.DictComp, ast.GeneratorExp)
+    _SCANS = {"items", "keys", "values"}
+
+    def _is_full_scan(self, it: ast.expr) -> bool:
+        """``self.<attr>.items()``-style calls (and keys/values)."""
+        return (
+            isinstance(it, ast.Call)
+            and not it.args
+            and not it.keywords
+            and isinstance(it.func, ast.Attribute)
+            and it.func.attr in self._SCANS
+            and isinstance(it.func.value, ast.Attribute)
+            and isinstance(it.func.value.value, ast.Name)
+            and it.func.value.value.id == "self"
+        )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[LintViolation]:
+        if not _in_hot_path(ctx.module):
+            return
+        yield from self._visit(ctx, ctx.tree, in_cold=False)
+
+    def _visit(
+        self, ctx: ModuleContext, node: ast.AST, in_cold: bool
+    ) -> Iterator[LintViolation]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cold = in_cold or child.name in _COLD_NAMES or any(
+                    child.name.startswith(p) for p in _COLD_PREFIXES
+                )
+                yield from self._visit(ctx, child, cold)
+                continue
+            if not in_cold and isinstance(child, self._COMPS):
+                for gen in child.generators:
+                    if gen.ifs and self._is_full_scan(gen.iter):
+                        store = gen.iter.func.value.attr  # type: ignore[union-attr]
+                        yield self.violation(
+                            ctx,
+                            child,
+                            f"filtered rescan of self.{store}."
+                            f"{gen.iter.func.attr}() in a hot path; "  # type: ignore[union-attr]
+                            "maintain the derived set incrementally "
+                            "on state transitions",
+                        )
+            yield from self._visit(ctx, child, in_cold)
 
 
 def _find_source(root: Path, rel: str) -> str:

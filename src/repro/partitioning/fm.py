@@ -82,9 +82,12 @@ def _fm_pass(
     locked = [False] * h.n
     version = [0] * h.n
 
-    heap: List[Tuple[float, int, int]] = []  # (-gain, v, version)
-    for v in range(h.n):
-        heapq.heappush(heap, (-_gain(h, side, c0, c1, v), v, 0))
+    # (-gain, v, version); build + heapify pops in the same order as
+    # sequential pushes (keys are distinct per vertex)
+    heap: List[Tuple[float, int, int]] = [
+        (-_gain(h, side, c0, c1, v), v, 0) for v in range(h.n)
+    ]
+    heapq.heapify(heap)
 
     moves: List[int] = []
     cum = 0.0
@@ -125,26 +128,50 @@ def _fm_pass(
         side[v] = 1 - s
         w0 += -h.vwgt[v] if s == 0 else h.vwgt[v]
         locked[v] = True
+        # Update per-net side counts and collect the vertices whose gain
+        # can actually have changed (classic FM threshold rules: a net's
+        # contribution to a pin's gain only flips when its side counts
+        # cross the 0/1/2 boundaries).  Gains are recomputed *fresh* for
+        # those vertices, so the pushed values are bit-identical to a
+        # recompute-everything pass; vertices outside the set keep their
+        # live heap entry, whose key equals what a fresh push would
+        # carry, preserving the pop order exactly.
+        affected = set()
         for e in h.pins_of[v]:
             if s == 0:
+                F, T = c0[e], c1[e]  # counts before the move
                 c0[e] -= 1
                 c1[e] += 1
             else:
+                F, T = c1[e], c0[e]
                 c1[e] -= 1
                 c0[e] += 1
+            pins = h.nets[e]
+            if T == 0 or F == 1:
+                # net enters/leaves the cut: every free pin is affected
+                for u in pins:
+                    if not locked[u]:
+                        affected.add(u)
+            else:
+                if F == 2:
+                    # the one remaining pin on v's old side could now
+                    # uncut the net by following
+                    for u in pins:
+                        if side[u] == s and not locked[u]:
+                            affected.add(u)
+                if T == 1:
+                    # the previously lone pin on the other side no
+                    # longer uncuts the net by moving
+                    for u in pins:
+                        if side[u] != s and not locked[u]:
+                            affected.add(u)
         cum += g
         moves.append(v)
         key = (feasible(w0), cum)
         if key > (best_key[0], best_key[1] + 1e-12):
             best_key = key
             best_len = len(moves)
-        # refresh gains of unlocked neighbours of v's nets
-        touched = set()
-        for e in h.pins_of[v]:
-            for u in h.nets[e]:
-                if not locked[u]:
-                    touched.add(u)
-        for u in touched:
+        for u in affected:
             version[u] += 1
             heapq.heappush(
                 heap, (-_gain(h, side, c0, c1, u), u, version[u])

@@ -81,6 +81,19 @@ class Scheduler:
     def on_data_loaded(self, gpu: int, data_id: int) -> None:
         """A fetch of ``data_id`` into ``gpu``'s memory completed."""
 
+    def on_fetch_issued(self, gpu: int, data_id: int) -> None:
+        """A fetch of ``data_id`` into ``gpu`` was *issued* (space
+        reserved, transfer in flight).  From this moment ``data_id``
+        counts as *held* by ``gpu`` — schedulers that mirror the
+        held-set incrementally (DARTS's free-task index, Ready's
+        missing-bytes cache) update on this hook, not on completion.
+
+        Must not call :meth:`charge_ops`: index maintenance replaces
+        rescans whose modeled cost is charged at decision time by the
+        existing ``charge_ops`` call sites — charging here would change
+        ``virtual_decision_time`` and thus the simulated trace.
+        """
+
     def on_data_evicted(self, gpu: int, data_id: int) -> None:
         """``data_id`` was evicted from ``gpu``'s memory."""
 

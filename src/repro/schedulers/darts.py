@@ -85,6 +85,90 @@ class Darts(Scheduler):
             and graph.working_set_bytes
             > self.threshold_activation_ratio * total_memory
         )
+        # Incremental free-task index (see _count_free_tasks for the
+        # definition it mirrors).  Gated off when the graph has outputs:
+        # ALLOCATED output slots enter the held-set without any event to
+        # update the index on.
+        self._use_index = not graph.has_outputs
+        if self._use_index:
+            self._build_index()
+
+    # ------------------------------------------------------------------
+    # incremental free-task index
+    # ------------------------------------------------------------------
+    #
+    # Per GPU ``g`` and task ``t``:
+    #   _miss_count[g][t]  — number of t's inputs not in held(g);
+    #   _miss_sum[g][t]    — sum of those input ids (when the count is 1
+    #                        this identifies the single missing datum);
+    #   _free_by_datum[g]  — datum d → set of *unowned* tasks whose only
+    #                        missing input on g is d.
+    # Updated on fetch-issue/evict (held-set transitions) and on tasks
+    # entering/leaving the unowned pool, so ``_refill`` answers "how
+    # many free tasks would loading d unlock" with one len() instead of
+    # rescanning ``users_of``.  Dependency release is filtered at query
+    # time (``is_released`` flips as tasks finish, without any per-datum
+    # event).  ``check_index`` asserts equality with a fresh rescan.
+    def _build_index(self) -> None:
+        view = self.view
+        graph = view.graph
+        self._miss_count: List[List[int]] = []
+        self._miss_sum: List[List[int]] = []
+        self._free_by_datum: List[Dict[int, Set[int]]] = []
+        for g in range(view.n_gpus):
+            held = view.held(g)
+            mc = []
+            ms = []
+            idx: Dict[int, Set[int]] = {}
+            for t in range(graph.n_tasks):
+                missing = [x for x in graph.inputs_of(t) if x not in held]
+                mc.append(len(missing))
+                ms.append(sum(missing))
+                if len(missing) == 1 and t in self._unowned:
+                    idx.setdefault(missing[0], set()).add(t)
+            self._miss_count.append(mc)
+            self._miss_sum.append(ms)
+            self._free_by_datum.append(idx)
+
+    def _index_remove_task(self, t: int) -> None:
+        """``t`` leaves the unowned pool (planned or taken)."""
+        for g in range(self.view.n_gpus):
+            if self._miss_count[g][t] == 1:
+                s = self._free_by_datum[g].get(self._miss_sum[g][t])
+                if s is not None:
+                    s.discard(t)
+
+    def _index_add_task(self, t: int) -> None:
+        """``t`` returns to the unowned pool (un-reserved on eviction)."""
+        for g in range(self.view.n_gpus):
+            if self._miss_count[g][t] == 1:
+                self._free_by_datum[g].setdefault(
+                    self._miss_sum[g][t], set()
+                ).add(t)
+
+    def check_index(self) -> None:
+        """Assert the index equals a from-scratch recomputation (tests)."""
+        if not self._use_index:
+            return
+        view = self.view
+        graph = view.graph
+        for g in range(view.n_gpus):
+            held = view.held(g)
+            idx: Dict[int, Set[int]] = {}
+            for t in range(graph.n_tasks):
+                missing = [x for x in graph.inputs_of(t) if x not in held]
+                assert self._miss_count[g][t] == len(missing), (
+                    f"gpu{g} task{t}: miss_count "
+                    f"{self._miss_count[g][t]} != {len(missing)}"
+                )
+                assert self._miss_sum[g][t] == sum(missing), (
+                    f"gpu{g} task{t}: miss_sum "
+                    f"{self._miss_sum[g][t]} != {sum(missing)}"
+                )
+                if len(missing) == 1 and t in self._unowned:
+                    idx.setdefault(missing[0], set()).add(t)
+            live = {d: s for d, s in self._free_by_datum[g].items() if s}
+            assert live == idx, f"gpu{g}: free_by_datum {live} != {idx}"
 
     # ------------------------------------------------------------------
     # Algorithm 5
@@ -103,6 +187,10 @@ class Darts(Scheduler):
         inmem = self.view.held(gpu)
         planned = self._planned[gpu]
         threshold = self.threshold if self._threshold_active else None
+        use_index = self._use_index
+        deps = self.view.has_dependencies
+        not_in_mem = self._data_not_in_mem[gpu]
+        idx = self._free_by_datum[gpu] if use_index else None
 
         n_max = 0
         candidates: List[int] = []
@@ -113,15 +201,29 @@ class Darts(Scheduler):
         # are order-*sensitive*: visit data with the most remaining
         # unprocessed users first, so the first hit is usually a good
         # one (cheap to order, and what makes OPTI "close to optimal").
-        scan_order = sorted(self._data_not_in_mem[gpu])
+        # One sort either way; (-users, d) keeps the id tie order the old
+        # stable double sort produced.
         if self.opti or threshold is not None:
-            scan_order.sort(key=lambda d: -self._remaining_users[d])
+            ru = self._remaining_users
+            scan_order = sorted(not_in_mem, key=lambda d: (-ru[d], d))
+        else:
+            scan_order = sorted(not_in_mem)
         for d in scan_order:
             if d in inmem:
-                continue  # stale entry; loads are synced lazily
+                not_in_mem.discard(d)  # stale entry: purge, don't revisit
+                continue
             scanned += 1
             self.charge_ops(len(graph.users_of(d)))
-            n_d = self._count_free_tasks(d, inmem)
+            if use_index:
+                s = idx.get(d)
+                if not s:
+                    n_d = 0
+                elif deps:
+                    n_d = sum(1 for t in s if self.view.is_released(t))
+                else:
+                    n_d = len(s)
+            else:
+                n_d = self._count_free_tasks(d, inmem)
             if n_d > n_max:
                 n_max = n_d
                 candidates = [d]
@@ -135,9 +237,20 @@ class Darts(Scheduler):
         if n_max > 0:
             d_opt = self._select_candidate(candidates)
             self.charge_ops(len(graph.users_of(d_opt)))
-            free = self._free_tasks(d_opt, inmem)
+            if use_index:
+                s = idx.get(d_opt, set())
+                # users_of order, exactly like the rescan produced
+                free = [
+                    t
+                    for t in graph.users_of(d_opt)
+                    if t in s and (not deps or self.view.is_released(t))
+                ]
+            else:
+                free = self._free_tasks(d_opt, inmem)
             for t in free:
                 self._unowned.discard(t)
+                if use_index:
+                    self._index_remove_task(t)
                 planned.append(t)
             self._data_not_in_mem[gpu].discard(d_opt)
             return planned.popleft()
@@ -224,6 +337,8 @@ class Darts(Scheduler):
     def _take(self, gpu: int, task: int) -> None:
         """Direct allocation (Algorithm 5 line 13)."""
         self._unowned.discard(task)
+        if self._use_index:
+            self._index_remove_task(task)
         for d in self.view.graph.inputs_of(task):
             self._data_not_in_mem[gpu].discard(d)
 
@@ -238,18 +353,57 @@ class Darts(Scheduler):
     def on_data_loaded(self, gpu: int, data_id: int) -> None:
         self._data_not_in_mem[gpu].discard(data_id)
 
+    def on_fetch_issued(self, gpu: int, data_id: int) -> None:
+        """``data_id`` joins ``gpu``'s held-set: one less missing input
+        for each of its users there."""
+        if not self._use_index:
+            return
+        mc = self._miss_count[gpu]
+        ms = self._miss_sum[gpu]
+        idx = self._free_by_datum[gpu]
+        unowned = self._unowned
+        for t in self.view.graph.users_of(data_id):
+            old = mc[t]
+            mc[t] = old - 1
+            ms[t] -= data_id
+            if t in unowned:
+                if old == 1:
+                    s = idx.get(data_id)
+                    if s is not None:
+                        s.discard(t)
+                elif old == 2:
+                    idx.setdefault(ms[t], set()).add(t)
+
     def on_data_evicted(self, gpu: int, data_id: int) -> None:
         """Algorithm 6 line 8: un-reserve planned tasks needing the victim."""
         self._data_not_in_mem[gpu].add(data_id)
+        graph = self.view.graph
+        if self._use_index:
+            mc = self._miss_count[gpu]
+            ms = self._miss_sum[gpu]
+            idx = self._free_by_datum[gpu]
+            unowned = self._unowned
+            for t in graph.users_of(data_id):
+                old = mc[t]
+                mc[t] = old + 1
+                ms[t] += data_id
+                if t in unowned:
+                    if old == 0:
+                        idx.setdefault(data_id, set()).add(t)
+                    elif old == 1:
+                        s = idx.get(ms[t] - data_id)
+                        if s is not None:
+                            s.discard(t)
         planned = self._planned[gpu]
         if not planned:
             return
         self.charge_ops(len(planned))
-        graph = self.view.graph
         keep: List[int] = []
         for t in planned:
             if data_id in graph.inputs_of(t):
                 self._unowned.add(t)
+                if self._use_index:
+                    self._index_add_task(t)
             else:
                 keep.append(t)
         if len(keep) != len(planned):

@@ -58,6 +58,14 @@ class Dmda(Scheduler):
             avail[best_k] = best_c
             inmem[best_k].update(task.inputs)
             self._lists.assign(best_k, [task.id])
+        if self.use_ready:
+            self._lists.enable_incremental(view)
+
+    def on_fetch_issued(self, gpu: int, data_id: int) -> None:
+        self._lists.on_fetch_issued(gpu, data_id)
+
+    def on_data_evicted(self, gpu: int, data_id: int) -> None:
+        self._lists.on_data_evicted(gpu, data_id)
 
     def next_task(self, gpu: int) -> Optional[int]:
         if self.use_ready:

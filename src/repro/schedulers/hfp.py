@@ -30,80 +30,117 @@ from repro.schedulers.ready import ReadyLists
 
 
 class _Packages:
-    """Mergeable task packages with shared-input-weight adjacency."""
+    """Mergeable task packages with shared-input-weight adjacency.
+
+    The adjacency ``nbr[pid][q]`` (bytes of input data shared between
+    packages ``pid`` and ``q``) is maintained *incrementally* on merge
+    instead of recomputed from ``pkgs_of`` per push round: absorbing
+    ``b`` into ``a`` detaches ``b`` everywhere and, for each datum new
+    to ``a``'s footprint, adds its size to the weights with every other
+    package holding it.  With integer-valued sizes (every shipped
+    workload) the running float sums are exact, hence bit-equal to a
+    fresh recomputation in any order.
+    """
 
     def __init__(self, graph: TaskGraph) -> None:
         self.graph = graph
         sizes = [d.size for d in graph.data]
-        self.tasks: Dict[int, List[int]] = {}
-        self.footprint: Dict[int, Set[int]] = {}
-        self.bytes: Dict[int, float] = {}
-        self.load: Dict[int, float] = {}
-        self.version: Dict[int, int] = {}
+        n = graph.n_tasks
+        #: merged-away packages hold None
+        self.tasks: List[Optional[List[int]]] = []
+        self.footprint: List[Set[int]] = []
+        self.bytes: List[float] = []
+        self.load: List[float] = []
+        self.version: List[int] = [0] * n
         # datum -> set of active package ids whose footprint holds it
         self.pkgs_of: List[Set[int]] = [set() for _ in range(graph.n_data)]
         self.sizes = sizes
+        self.n_active = n
+        #: task count per package (len of tasks, without the Optional)
+        self.ntasks: List[int] = [1] * n
         for t in graph.tasks:
             pid = t.id
-            self.tasks[pid] = [t.id]
+            self.tasks.append([t.id])
             fp = set(t.inputs)
-            self.footprint[pid] = fp
-            self.bytes[pid] = sum(sizes[d] for d in fp)
-            self.load[pid] = t.flops
-            self.version[pid] = 0
+            self.footprint.append(fp)
+            self.bytes.append(sum(sizes[d] for d in fp))
+            self.load.append(t.flops)
             for d in fp:
                 self.pkgs_of[d].add(pid)
+        # shared-weight adjacency, same accumulation order per package
+        # as a fresh shared_weights() scan (footprint-set iteration)
+        self.nbr: List[Dict[int, float]] = []
+        for pid in range(n):
+            w: Dict[int, float] = {}
+            for d in self.footprint[pid]:
+                sz = sizes[d]
+                for q in self.pkgs_of[d]:
+                    if q != pid:
+                        w[q] = w.get(q, 0.0) + sz
+            self.nbr.append(w)
 
     @property
     def count(self) -> int:
-        return len(self.tasks)
+        return self.n_active
 
     def active_ids(self) -> List[int]:
-        return sorted(self.tasks)
+        return [pid for pid, t in enumerate(self.tasks) if t is not None]
 
     def shared_weights(self, pid: int) -> Dict[int, float]:
         """Bytes of input data shared between ``pid`` and each neighbour."""
-        w: Dict[int, float] = {}
-        for d in self.footprint[pid]:
-            sz = self.sizes[d]
-            for q in self.pkgs_of[d]:
-                if q != pid:
-                    w[q] = w.get(q, 0.0) + sz
-        return w
+        return dict(self.nbr[pid])
 
     def union_bytes(self, a: int, b: int, shared: float) -> float:
         return self.bytes[a] + self.bytes[b] - shared
 
     def merge(self, a: int, b: int) -> int:
         """Absorb package ``b`` into ``a`` (list concatenation)."""
-        self.tasks[a].extend(self.tasks[b])
+        tasks_a = self.tasks[a]
+        tasks_b = self.tasks[b]
+        assert tasks_a is not None and tasks_b is not None
+        tasks_a.extend(tasks_b)
+        nbr = self.nbr
+        # detach b from the adjacency
+        nbr[a].pop(b, None)
+        for q in nbr[b]:
+            if q != a:
+                nbr[q].pop(b, None)
+        fp_a = self.footprint[a]
+        nbr_a = nbr[a]
         for d in self.footprint[b]:
             self.pkgs_of[d].discard(b)
-            if d not in self.footprint[a]:
-                self.footprint[a].add(d)
-                self.bytes[a] += self.sizes[d]
+            if d not in fp_a:
+                fp_a.add(d)
+                sz = self.sizes[d]
+                self.bytes[a] += sz
+                for q in self.pkgs_of[d]:
+                    if q != a:
+                        nbr_a[q] = nbr_a.get(q, 0.0) + sz
+                        nbr_q = nbr[q]
+                        nbr_q[a] = nbr_q.get(a, 0.0) + sz
                 self.pkgs_of[d].add(a)
         self.load[a] += self.load[b]
+        self.ntasks[a] += self.ntasks[b]
         self.version[a] += 1
-        del (
-            self.tasks[b],
-            self.footprint[b],
-            self.bytes[b],
-            self.load[b],
-            self.version[b],
-        )
+        self.tasks[b] = None
+        self.footprint[b] = set()
+        nbr[b] = {}
+        self.n_active -= 1
         return a
 
 
 def _push_pairs(heap, pk: _Packages, pid: int) -> None:
     """Push fresh heap entries for ``pid`` against all its neighbours."""
-    ntasks = len(pk.tasks[pid])
-    for q, w in pk.shared_weights(pid).items():
-        a, b = (pid, q) if pid < q else (q, pid)
-        heapq.heappush(
-            heap,
-            (-w, ntasks + len(pk.tasks[q]), a, b, pk.version[a], pk.version[b]),
-        )
+    version = pk.version
+    ntasks = pk.ntasks
+    push = heapq.heappush
+    nt_pid = ntasks[pid]
+    v_pid = version[pid]
+    for q, w in pk.nbr[pid].items():
+        if pid < q:
+            push(heap, (-w, nt_pid + ntasks[q], pid, q, v_pid, version[q]))
+        else:
+            push(heap, (-w, nt_pid + ntasks[q], q, pid, version[q], v_pid))
 
 
 def _merge_round(
@@ -119,12 +156,19 @@ def _merge_round(
     heap: List[Tuple[float, int, int, int, int, int]] = []
     for pid in pk.active_ids():
         _push_pairs(heap, pk, pid)
-    while heap and pk.count > stop_at:
+    # Stale entries (merged-away package or outdated version) are
+    # skipped on pop; when they dominate the heap, filter them out in
+    # one pass and re-heapify.  Live entries keep their exact keys, so
+    # the pop order — and hence every merge decision — is unchanged
+    # (a stale ``w <= 0`` pop breaks the loop just like the live or
+    # stale ``w <= 0`` entry that follows it would).
+    compact_at = max(4096, 2 * len(heap))
+    while heap and pk.n_active > stop_at:
         neg_w, _, a, b, va, vb = heapq.heappop(heap)
         w = -neg_w
         if w <= 0:
             break
-        if a not in pk.tasks or b not in pk.tasks:
+        if pk.tasks[a] is None or pk.tasks[b] is None:
             continue
         if pk.version[a] != va or pk.version[b] != vb:
             continue  # stale entry; fresh ones were pushed at merge time
@@ -132,6 +176,19 @@ def _merge_round(
             continue
         merged = pk.merge(a, b)
         _push_pairs(heap, pk, merged)
+        if len(heap) > compact_at:
+            tasks = pk.tasks
+            version = pk.version
+            heap = [
+                item
+                for item in heap
+                if tasks[item[2]] is not None
+                and tasks[item[3]] is not None
+                and version[item[2]] == item[4]
+                and version[item[3]] == item[5]
+            ]
+            heapq.heapify(heap)
+            compact_at = max(4096, 2 * len(heap))
 
 
 def hfp_pack(
@@ -153,7 +210,9 @@ def hfp_pack(
         _merge_round(pk, None, stop_at=k_packages)
     # Disconnected leftovers (e.g. sparse instances): fold smallest pairs.
     while pk.count > k_packages:
-        ids = sorted(pk.tasks, key=lambda p: (len(pk.tasks[p]), p))
+        ids = sorted(
+            pk.active_ids(), key=lambda p: (len(pk.tasks[p]), p)
+        )
         pk.merge(ids[0], ids[1])
     out = [pk.tasks[pid] for pid in pk.active_ids()]
     while len(out) < k_packages:  # fewer tasks than GPUs
@@ -224,6 +283,14 @@ class Mhfp(Scheduler):
         self._lists = ReadyLists(view.n_gpus)
         for k, p in enumerate(packages):
             self._lists.assign(k, p)
+        if self.use_ready:
+            self._lists.enable_incremental(view)
+
+    def on_fetch_issued(self, gpu: int, data_id: int) -> None:
+        self._lists.on_fetch_issued(gpu, data_id)
+
+    def on_data_evicted(self, gpu: int, data_id: int) -> None:
+        self._lists.on_data_evicted(gpu, data_id)
 
     def next_task(self, gpu: int) -> Optional[int]:
         while True:

@@ -55,6 +55,14 @@ class HmetisR(Scheduler):
         self._lists = ReadyLists(view.n_gpus)
         for k, part in enumerate(self.partition.parts):
             self._lists.assign(k, part)
+        if self.use_ready:
+            self._lists.enable_incremental(view)
+
+    def on_fetch_issued(self, gpu: int, data_id: int) -> None:
+        self._lists.on_fetch_issued(gpu, data_id)
+
+    def on_data_evicted(self, gpu: int, data_id: int) -> None:
+        self._lists.on_data_evicted(gpu, data_id)
 
     def next_task(self, gpu: int) -> Optional[int]:
         while True:

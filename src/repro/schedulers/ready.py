@@ -20,11 +20,73 @@ class ReadyLists:
     ``last_scanned`` exposes how many queue entries the latest
     :meth:`pop_ready` examined, so schedulers can charge decision
     operations to the runtime's virtual scheduler clock.
+
+    :meth:`enable_incremental` switches :meth:`pop_ready` from a fresh
+    ``missing_bytes`` sum per (scan, task) to a per-GPU cached array
+    updated on the owner scheduler's ``on_fetch_issued`` /
+    ``on_data_evicted`` hooks.  The cache is only enabled when the
+    values are provably bit-equal to the fresh sums: no output data
+    (ALLOCATED slots enter the held-set without an event) and
+    integer-valued sizes (float adds/subtracts of integers far below
+    2**53 are exact in any order).  ``check_incremental`` asserts
+    equality with a recomputation (property tests).
     """
 
     def __init__(self, n_gpus: int) -> None:
         self.lists: List[List[int]] = [[] for _ in range(n_gpus)]
         self.last_scanned = 0
+        #: per-GPU missing-bytes per task; None → fresh sums
+        self._mb: Optional[List[List[float]]] = None
+        self._graph = None
+        self._sizes: List[float] = []
+
+    def enable_incremental(self, view: "RuntimeView") -> bool:
+        """Build the missing-bytes cache; False when ineligible."""
+        graph = view.graph
+        if graph.has_outputs:
+            return False
+        sizes = [d.size for d in graph.data]
+        if any(s != int(s) for s in sizes):
+            return False  # exactness not guaranteed for fractional sizes
+        self._graph = graph
+        self._sizes = sizes
+        self._mb = []
+        for g in range(len(self.lists)):
+            held = view.held(g)
+            self._mb.append(
+                [
+                    sum(sizes[d] for d in graph.inputs_of(t) if d not in held)
+                    for t in range(graph.n_tasks)
+                ]
+            )
+        return True
+
+    def on_fetch_issued(self, gpu: int, data_id: int) -> None:
+        if self._mb is None:
+            return
+        mb = self._mb[gpu]
+        sz = self._sizes[data_id]
+        for t in self._graph.users_of(data_id):
+            mb[t] -= sz
+
+    def on_data_evicted(self, gpu: int, data_id: int) -> None:
+        if self._mb is None:
+            return
+        mb = self._mb[gpu]
+        sz = self._sizes[data_id]
+        for t in self._graph.users_of(data_id):
+            mb[t] += sz
+
+    def check_incremental(self, view: "RuntimeView") -> None:
+        """Assert the cache equals fresh ``missing_bytes`` (tests)."""
+        if self._mb is None:
+            return
+        for g in range(len(self.lists)):
+            for t in range(self._graph.n_tasks):
+                fresh = view.missing_bytes(g, t)
+                assert self._mb[g][t] == fresh, (
+                    f"gpu{g} task{t}: cached {self._mb[g][t]} != {fresh}"
+                )
 
     def assign(self, gpu: int, tasks) -> None:
         self.lists[gpu].extend(tasks)
@@ -47,11 +109,12 @@ class ReadyLists:
         self.last_scanned = 0
         best_pos = -1
         best_missing = float("inf")
+        mb = self._mb[gpu] if self._mb is not None else None
         for pos, task in enumerate(lst):
             self.last_scanned += 1
             if not view.is_released(task):
                 continue
-            missing = view.missing_bytes(gpu, task)
+            missing = mb[task] if mb is not None else view.missing_bytes(gpu, task)
             if missing < best_missing:
                 best_pos, best_missing = pos, missing
                 if missing == 0:

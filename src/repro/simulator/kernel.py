@@ -42,6 +42,7 @@ from repro.simulator.events import (
     Evicted,
     EventStream,
     FetchCompleted,
+    FetchIssued,
     TaskCompleted,
     WriteBackCompleted,
     WriteBackStarted,
@@ -232,6 +233,7 @@ class RuntimeKernel:
         self._stats_collector = StatsCollector(self.stats)
         self._stats_collector.subscribe_to(self.events)
         self.events.subscribe(self._on_fetch_completed, FetchCompleted)
+        self.events.subscribe(self._on_fetch_issued, FetchIssued)
         self.events.subscribe(self._on_evicted, Evicted)
 
     # ------------------------------------------------------------------
@@ -298,6 +300,10 @@ class RuntimeKernel:
         self.scheduler.on_data_loaded(e.gpu, e.data_id)
         self._decision_time += _time.perf_counter() - t0
         self._poke(e.gpu)
+
+    def _on_fetch_issued(self, e: FetchIssued) -> None:
+        if self._started:
+            self.scheduler.on_fetch_issued(e.gpu, e.data_id)
 
     def _on_evicted(self, e: Evicted) -> None:
         if self._started:

@@ -116,6 +116,14 @@ class DeviceMemory:
         self._data_available = data_available
         self._state: Dict[int, DataState] = {}
         self._pins: Dict[int, int] = {}
+        # Derived sets, maintained incrementally on every state
+        # transition so the hot queries (``present_set``/``held_set``/
+        # ``evictable``/``fetching_set``) never rescan ``_state``.
+        # ``check_invariants`` asserts they match a from-scratch
+        # recomputation.
+        self._present: Set[int] = set()
+        self._fetching: Set[int] = set()
+        self._evictable: Set[int] = set()
         self.used: float = 0.0
         # pending fetches: (datum, data protected from eviction for it)
         self._pending: List[Tuple[int, FrozenSet[int]]] = []
@@ -149,10 +157,10 @@ class DeviceMemory:
         return d in self._state
 
     def present_set(self) -> Set[int]:
-        return {d for d, s in self._state.items() if s is DataState.PRESENT}
+        return set(self._present)
 
     def fetching_set(self) -> Set[int]:
-        return {d for d, s in self._state.items() if s is DataState.FETCHING}
+        return set(self._fetching)
 
     def held_set(self) -> Set[int]:
         return set(self._state)
@@ -166,17 +174,16 @@ class DeviceMemory:
 
     def evictable(self) -> Set[int]:
         """Present, unpinned data — the candidate set for eviction."""
-        return {
-            d
-            for d, s in self._state.items()
-            if s is DataState.PRESENT and self._pins.get(d, 0) == 0
-        }
+        return set(self._evictable)
 
     # ------------------------------------------------------------------
     # pinning
     # ------------------------------------------------------------------
     def pin(self, d: int) -> None:
-        self._pins[d] = self._pins.get(d, 0) + 1
+        c = self._pins.get(d, 0)
+        self._pins[d] = c + 1
+        if c == 0:
+            self._evictable.discard(d)
 
     def unpin(self, d: int) -> None:
         c = self._pins.get(d, 0)
@@ -184,6 +191,8 @@ class DeviceMemory:
             raise ValueError(f"unpin of unpinned data {d} on GPU {self.gpu}")
         if c == 1:
             del self._pins[d]
+            if d in self._present:
+                self._evictable.add(d)
         else:
             self._pins[d] = c - 1
         self._drain_pending()
@@ -242,6 +251,7 @@ class DeviceMemory:
             del self._pending[i]
             self._pending_set.discard(d)
             self._state[d] = DataState.FETCHING
+            self._fetching.add(d)
             self.used += self.sizes[d]
             self._sanitize_usage()
             if self.events.wants(FetchIssued):
@@ -282,11 +292,16 @@ class DeviceMemory:
         if self._state.get(d) is not DataState.ALLOCATED:
             raise ValueError(f"datum {d} was not allocated as an output")
         self._state[d] = DataState.PRESENT
+        self._present.add(d)
+        if self._pins.get(d, 0) == 0:
+            self._evictable.add(d)
         self.policy.on_insert(d)
 
     def _make_room(self, size: float, protected: FrozenSet[int] = frozenset()) -> bool:
         """Evict until ``size`` bytes are free; False if impossible now."""
         while self.capacity - self.used < size:
+            # goes through the public ``evictable()`` seam (tests inject
+            # faults there); it is a cheap set copy now, not a rescan
             candidates = self.evictable() - protected
             if not candidates:
                 return False
@@ -316,6 +331,8 @@ class DeviceMemory:
             if self.is_pinned(d):
                 raise ValueError(f"cannot evict pinned datum {d}")
             del self._state[d]
+            self._present.discard(d)
+            self._evictable.discard(d)
             self.used -= self.sizes[d]
             self._sanitize_usage()
             self.n_evictions += 1
@@ -330,6 +347,10 @@ class DeviceMemory:
     def _fetch_done(self, d: int) -> None:
         assert self._state.get(d) is DataState.FETCHING
         self._state[d] = DataState.PRESENT
+        self._fetching.discard(d)
+        self._present.add(d)
+        if self._pins.get(d, 0) == 0:
+            self._evictable.add(d)
         self.n_loads += 1
         self.bytes_loaded += self.sizes[d]
         self.policy.on_insert(d)
@@ -367,3 +388,16 @@ class DeviceMemory:
         assert self.used <= self.capacity + 1e-6
         for d in self._pins:
             assert d in self._state, f"pinned datum {d} not held"
+        # the incrementally-maintained sets must equal a fresh rescan
+        present = {d for d, s in self._state.items() if s is DataState.PRESENT}
+        fetching = {d for d, s in self._state.items() if s is DataState.FETCHING}
+        evictable = {d for d in present if self._pins.get(d, 0) == 0}
+        assert self._present == present, (
+            f"GPU {self.gpu}: incremental present {self._present} != {present}"
+        )
+        assert self._fetching == fetching, (
+            f"GPU {self.gpu}: incremental fetching {self._fetching} != {fetching}"
+        )
+        assert self._evictable == evictable, (
+            f"GPU {self.gpu}: incremental evictable {self._evictable} != {evictable}"
+        )

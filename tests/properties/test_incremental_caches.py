@@ -1,0 +1,165 @@
+"""Property tests for the incrementally-maintained hot-path caches.
+
+The core optimization replaced from-scratch rescans with incremental
+state (memory present/fetching/evictable sets, the DARTS free-task
+index, the Ready missing-bytes cache).  These tests drive the caches
+through arbitrary operation sequences — both synthetic ones against a
+bare :class:`DeviceMemory` and real simulations on random graphs — and
+assert at every step that each cache equals a fresh recomputation,
+which is the invariant the byte-identity argument rests on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers.darts import Darts
+from repro.schedulers.dmda import Dmdar
+from repro.schedulers.hfp import Mhfp
+from repro.simulator.memory import MemoryFullError
+from repro.simulator.runtime import simulate
+from repro.workloads.randomgraph import random_bipartite
+
+from tests.conftest import toy_platform
+from tests.simulator.test_memory import make_memory
+
+N_DATA = 8
+
+
+@st.composite
+def memory_ops(draw):
+    """A sequence of (op, datum/delta) actions on one DeviceMemory."""
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["request", "pin", "unpin", "evict", "advance"]
+                ),
+                st.integers(0, N_DATA - 1),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    capacity = draw(st.integers(2, N_DATA))
+    return ops, float(capacity)
+
+
+class TestMemoryIncrementalSets:
+    @given(memory_ops())
+    @settings(max_examples=150, deadline=None)
+    def test_sets_match_rescan_after_arbitrary_ops(self, case):
+        """present/fetching/evictable stay equal to a fresh rescan."""
+        ops, capacity = case
+        eng, mem, _policy, _ready, _evicted = make_memory(
+            capacity=capacity, sizes=[1.0] * N_DATA
+        )
+        pinned = []
+        for op, d in ops:
+            if op == "request":
+                try:
+                    mem.request(d)
+                except MemoryFullError:
+                    pass
+            elif op == "pin":
+                if mem.holds(d):
+                    mem.pin(d)
+                    pinned.append(d)
+            elif op == "unpin":
+                if d in pinned:
+                    mem.unpin(d)
+                    pinned.remove(d)
+            elif op == "evict":
+                if d in mem.evictable():
+                    mem.evict(d)
+            elif op == "advance":
+                eng.run(until=eng.now + float(d + 1))
+            mem.check_invariants()
+        eng.run()
+        mem.check_invariants()
+
+
+class _CheckedDarts(Darts):
+    """DARTS that re-verifies its free-task index on every memory event."""
+
+    def on_fetch_issued(self, gpu, data_id):
+        super().on_fetch_issued(gpu, data_id)
+        self.check_index()
+
+    def on_data_evicted(self, gpu, data_id):
+        super().on_data_evicted(gpu, data_id)
+        self.check_index()
+
+    def next_task(self, gpu):
+        task = super().next_task(gpu)
+        self.check_index()
+        return task
+
+
+class _CheckedDmdar(Dmdar):
+    """DMDAR that re-verifies the missing-bytes cache on every event."""
+
+    def on_fetch_issued(self, gpu, data_id):
+        super().on_fetch_issued(gpu, data_id)
+        self._lists.check_incremental(self.view)
+
+    def on_data_evicted(self, gpu, data_id):
+        super().on_data_evicted(gpu, data_id)
+        self._lists.check_incremental(self.view)
+
+
+class _CheckedMhfp(Mhfp):
+    def on_fetch_issued(self, gpu, data_id):
+        super().on_fetch_issued(gpu, data_id)
+        self._lists.check_incremental(self.view)
+
+    def on_data_evicted(self, gpu, data_id):
+        super().on_data_evicted(gpu, data_id)
+        self._lists.check_incremental(self.view)
+
+
+@st.composite
+def graph_case(draw):
+    n_data = draw(st.integers(3, 8))
+    n_tasks = draw(st.integers(2, 16))
+    arity = draw(st.integers(1, min(3, n_data)))
+    seed = draw(st.integers(0, 9999))
+    graph = random_bipartite(
+        n_tasks, n_data, arity=arity, data_size=1.0, task_flops=1.0, seed=seed
+    )
+    memory = float(draw(st.integers(arity, n_data + 1)))
+    n_gpus = draw(st.integers(1, 3))
+    window = draw(st.integers(1, 3))
+    return graph, memory, n_gpus, window, seed
+
+
+class TestSchedulerCachesMatchRecompute:
+    @given(graph_case())
+    @settings(max_examples=60, deadline=None)
+    def test_darts_index_matches_fresh_recompute(self, case):
+        """The free-task index equals a from-scratch rebuild mid-run."""
+        graph, memory, n_gpus, window, seed = case
+        result = simulate(
+            graph,
+            toy_platform(n_gpus=n_gpus, memory=memory, bandwidth=5.0),
+            _CheckedDarts(),
+            window=window,
+            seed=seed,
+        )
+        executed = sorted(t for o in result.executed_order for t in o)
+        assert executed == list(range(graph.n_tasks))
+
+    @pytest.mark.parametrize("cls", [_CheckedDmdar, _CheckedMhfp])
+    @given(case=graph_case())
+    @settings(max_examples=40, deadline=None)
+    def test_ready_cache_matches_missing_bytes(self, cls, case):
+        graph, memory, n_gpus, window, seed = case
+        result = simulate(
+            graph,
+            toy_platform(n_gpus=n_gpus, memory=memory, bandwidth=5.0),
+            cls(),
+            window=window,
+            seed=seed,
+        )
+        executed = sorted(t for o in result.executed_order for t in o)
+        assert executed == list(range(graph.n_tasks))

@@ -25,6 +25,7 @@ class TestFreeTaskSelection:
         # their row datum, so e.g. loading row D1 (0) frees exactly T0.
         rt.memories[0].request(3)
         rt.engine.run()
+        sched.on_fetch_issued(0, 3)
         sched.on_data_loaded(0, 3)
         assert sched._count_free_tasks(0, rt.view.held(0)) == 1
 
@@ -35,6 +36,7 @@ class TestFreeTaskSelection:
             rt.memories[0].request(d)
         rt.engine.run()
         for d in (3, 4, 5):
+            sched.on_fetch_issued(0, d)
             sched.on_data_loaded(0, d)
         task = sched.next_task(0)
         assert task is not None
@@ -74,6 +76,7 @@ class TestEvictionCoupling:
             rt.memories[0].request(d)
         rt.engine.run()
         for d in (3, 4, 5):
+            sched.on_fetch_issued(0, d)
             sched.on_data_loaded(0, d)
         first = sched.next_task(0)
         planned_before = set(sched.planned_tasks(0))
@@ -94,6 +97,7 @@ class TestEvictionCoupling:
             rt.memories[0].request(d)
         rt.engine.run()
         for d in (3, 4, 5):
+            sched.on_fetch_issued(0, d)
             sched.on_data_loaded(0, d)
         sched.next_task(0)
         planned = list(sched.planned_tasks(0))
@@ -111,6 +115,7 @@ class TestEvictionCoupling:
     def test_data_loaded_syncs_candidate_set(self, figure1_graph):
         rt, sched = darts_on(figure1_graph)
         assert 2 in sched._data_not_in_mem[0]
+        sched.on_fetch_issued(0, 2)
         sched.on_data_loaded(0, 2)
         assert 2 not in sched._data_not_in_mem[0]
 
@@ -138,6 +143,7 @@ class TestVariants:
         c00 = [d.id for d in g.data if d.name == "C[0,0]"][0]
         rt.memories[0].request(c00)
         rt.engine.run()
+        sched.on_fetch_issued(0, c00)
         sched.on_data_loaded(0, c00)
         task = sched.next_task(0)
         assert c00 in g.inputs_of(task)

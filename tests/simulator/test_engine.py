@@ -78,6 +78,84 @@ class TestCancellation:
         h1.cancel()
         assert eng.pending == 1
 
+    def test_cancel_after_fire_keeps_pending_consistent(self):
+        eng = SimulationEngine()
+        h = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        eng.step()
+        h.cancel()  # already fired; must not corrupt the live counter
+        assert eng.pending == 1
+        assert eng.step() is True
+        assert eng.pending == 0
+
+    def test_mass_cancel_triggers_compaction_preserving_order(self):
+        eng = SimulationEngine()
+        log = []
+        handles = []
+        for i in range(200):
+            handles.append(eng.schedule(float(i), lambda i=i: log.append(i)))
+        keep = {3, 50, 199}
+        for i, h in enumerate(handles):
+            if i not in keep:
+                h.cancel()
+        assert eng.pending == len(keep)
+        eng.run()
+        assert log == sorted(keep)
+        assert eng.pending == 0
+
+
+class TestCancelThenReschedule:
+    """Regression: draining cancelled entries must never advance ``now``
+    past a live event scheduled later than the cancelled one."""
+
+    def test_drain_does_not_skip_later_live_event(self):
+        eng = SimulationEngine()
+        log = []
+        h = eng.schedule(10.0, lambda: log.append("stale"))
+        h.cancel()
+        eng.schedule(4.0, lambda: log.append("live"))
+        eng.run(until=6.0)
+        assert log == ["live"]
+        assert eng.now == 6.0
+
+    def test_reschedule_from_callback_respects_until(self):
+        eng = SimulationEngine()
+        log = []
+        h_d = eng.schedule(3.0, lambda: log.append("d"))
+
+        def c():
+            log.append("c")
+            h_d.cancel()
+            eng.schedule_at(5.0, lambda: log.append("e"))
+
+        eng.schedule(2.0, c)
+        eng.run(until=4.0)
+        assert log == ["c"]
+        assert eng.now == 4.0
+        eng.run()
+        assert log == ["c", "e"]
+        assert eng.now == 5.0
+
+    def test_run_until_never_moves_clock_backward(self):
+        eng = SimulationEngine()
+        eng.schedule(4.0, lambda: None)
+        eng.run()
+        assert eng.now == 4.0
+        eng.run(until=1.0)
+        assert eng.now == 4.0
+
+    def test_run_until_advances_clock_on_empty_heap(self):
+        eng = SimulationEngine()
+        eng.run(until=7.0)
+        assert eng.now == 7.0
+
+    def test_run_until_advances_clock_when_all_cancelled(self):
+        eng = SimulationEngine()
+        h = eng.schedule(10.0, lambda: None)
+        h.cancel()
+        eng.run(until=7.0)
+        assert eng.now == 7.0
+
 
 class TestRun:
     def test_run_until_stops_clock(self):

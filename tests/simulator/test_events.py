@@ -105,16 +105,15 @@ class TestDispatch:
 
 
 class TestRuntimeWiring:
-    def test_disabled_consumers_cost_zero_on_fetch_path(self):
-        """With tracing and the sanitizer off, nothing subscribes to
-        FetchIssued: the hot path publishes no event at all."""
+    def test_control_plane_subscribes_fetch_and_evict_events(self):
+        """Scheduler notification (held-set sync + pokes) rides the
+        stream for fetch issues, fetch completions and evictions even
+        with tracing and the sanitizer off."""
         rt = Runtime(
             small_graph(), toy_platform(memory=6.0), Eager(),
             record_trace=False, sanitize=False,
         )
-        assert not rt.events.wants(FetchIssued)
-        # Control flow (scheduler notification + poke) still rides the
-        # stream for fetch completions and evictions.
+        assert rt.events.wants(FetchIssued)
         assert rt.events.wants(FetchCompleted)
         assert rt.events.wants(Evicted)
 
