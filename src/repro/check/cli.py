@@ -85,6 +85,61 @@ def run_smoke(verbose: bool = False) -> List[str]:
     return problems
 
 
+def run_fault_smoke(verbose: bool = False) -> List[str]:
+    """Fault-injection smoke: every strategy survives a pinned fault plan.
+
+    For each smoke scheduler, a fault-free baseline fixes the makespan;
+    a plan then kills GPU 1 at ~30% of that makespan, corrupts transfers
+    with probability 0.2, and slows GPU 0 by 1.5×.  The faulted run must
+    (a) be reproducible (same plan ⇒ same SAN007 digest, via
+    ``check_determinism``) and (b) pass the recovery sanitizer checks
+    SAN008 (exactly-once completion), SAN009 (no fetch from a failed
+    device), SAN010 (degraded makespan within surviving capacity).
+    """
+    from repro.platform.spec import tesla_v100_node
+    from repro.simulator.faults import (
+        DeviceFailure,
+        FaultPlan,
+        StragglerSlowdown,
+        TransferCorruption,
+    )
+    from repro.simulator.runtime import simulate
+    from repro.simulator.sanitizer import Sanitizer, check_determinism
+    from repro.schedulers.registry import make_scheduler
+    from repro.workloads.matmul2d import matmul2d
+
+    graph = matmul2d(6)
+    block = graph.data[0].size
+    platform = tesla_v100_node(n_gpus=3, memory_bytes=8 * block)
+
+    problems: List[str] = []
+    for name in SMOKE_SCHEDULERS:
+        try:
+            sched, eviction = make_scheduler(name)
+            base = simulate(graph, platform, sched, eviction=eviction, seed=0)
+            plan = FaultPlan(
+                seed=11,
+                device_failures=(
+                    DeviceFailure(gpu=1, time=0.3 * base.makespan),
+                ),
+                transfer_faults=TransferCorruption(probability=0.2),
+                stragglers=(StragglerSlowdown(gpu=0, factor=1.5),),
+            )
+            collector = Sanitizer(strict=False)
+            digest = check_determinism(
+                graph, platform, name, seed=0,
+                sanitizer=collector, faults=plan,
+            )
+        except Exception as exc:  # sanitizer raise or recovery bug
+            problems.append(f"{name}: {type(exc).__name__}: {exc}")
+            continue
+        for v in collector.violations:
+            problems.append(f"{name}: {v.format()}")
+        if verbose and not collector.violations:
+            print(f"  fault-smoke {name:12s} ok  digest={digest[:16]}…")
+    return problems
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.check",
@@ -103,6 +158,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-smoke",
         action="store_true",
         help="skip the sanitized smoke simulations (lint only)",
+    )
+    parser.add_argument(
+        "--fault-smoke",
+        action="store_true",
+        help="additionally smoke-run every strategy under a pinned "
+        "fault-injection plan (device failure + transfer corruption + "
+        "straggler) with the recovery sanitizer checks enabled",
     )
     parser.add_argument(
         "--rules",
@@ -157,7 +219,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             ok = n - len({p.split(":", 1)[0] for p in smoke_problems})
             print(f"repro.check smoke: {ok}/{n} schedulers clean")
 
-    return 1 if (violations or smoke_problems) else 0
+    fault_problems: List[str] = []
+    if args.fault_smoke:
+        if not args.json:
+            print("running fault-injection smoke simulations "
+                  f"({', '.join(SMOKE_SCHEDULERS)}) ...")
+        fault_problems = run_fault_smoke(verbose=args.verbose)
+        for p in fault_problems:
+            print(f"fault-smoke: {p}", file=sys.stderr)
+        if not args.json:
+            n = len(SMOKE_SCHEDULERS)
+            ok = n - len({p.split(":", 1)[0] for p in fault_problems})
+            print(f"repro.check fault-smoke: {ok}/{n} schedulers clean")
+
+    return 1 if (violations or smoke_problems or fault_problems) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,6 +13,9 @@ API-conformance rules (``API``)
             (project-wide, import-based)
     API003  scheduler/eviction code must not mutate runtime internals;
             everything goes through the read-only ``RuntimeView``
+    API004  scheduler classes deriving per-device state from ``n_gpus``
+            must participate in the device-loss protocol
+            (``on_device_lost`` / ``drop_gpu``)
 
 Performance rules (``PERF``)
     PERF001 filtered full-dict rescans (``self.X.items()`` under an
@@ -648,6 +651,98 @@ class RuntimeViewMutationRule(Rule):
                     "assignment through a RuntimeView mutates runtime "
                     "state; the view is read-only by contract",
                 )
+
+
+@register
+class DeviceListCacheRule(Rule):
+    """API004: cached device lists must survive an injected GPU failure.
+
+    A scheduler that sizes internal state from ``n_gpus`` (per-device
+    ready lists, plans, load tables) has cached the device list.  After
+    the fault-injection layer kills a GPU, that state silently keeps
+    routing work to the dead device unless the class participates in
+    the recovery protocol.  Any class in ``repro.schedulers`` with a
+    method that both reads ``n_gpus`` and stores state on ``self`` must
+    therefore define ``on_device_lost`` in its own body (or
+    ``drop_gpu``, the equivalent contract for shared ready-list
+    containers).  Inheriting the base class's raising default does not
+    count — that is precisely the unhandled case.
+    """
+
+    code = "API004"
+    name = "device-list-cache"
+    description = (
+        "scheduler classes deriving per-device state from n_gpus must "
+        "define on_device_lost (or drop_gpu for list containers)"
+    )
+
+    _HOOKS = {"on_device_lost", "drop_gpu"}
+
+    def _applies(self, module: str) -> bool:
+        return module == "repro.schedulers" or module.startswith(
+            "repro.schedulers."
+        )
+
+    @staticmethod
+    def _reads_n_gpus(node: ast.AST) -> bool:
+        if isinstance(node, ast.Attribute) and node.attr == "n_gpus":
+            return True
+        return isinstance(node, ast.Name) and node.id == "n_gpus"
+
+    @staticmethod
+    def _self_store(node: ast.AST) -> Optional[ast.Attribute]:
+        """The ``self.<attr>`` target of an assignment node, if any."""
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        else:
+            return None
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                return target
+        return None
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[LintViolation]:
+        if not self._applies(ctx.module):
+            return
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            defined = {
+                stmt.name
+                for stmt in cls.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if defined & self._HOOKS:
+                continue
+            for meth in cls.body:
+                if not isinstance(
+                    meth, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                reads = False
+                store: Optional[ast.Attribute] = None
+                for sub in ast.walk(meth):
+                    if self._reads_n_gpus(sub):
+                        reads = True
+                    if store is None:
+                        found = self._self_store(sub)
+                        if found is not None:
+                            store = found
+                if reads and store is not None:
+                    yield self.violation(
+                        ctx,
+                        store,
+                        f"{cls.name}.{meth.name} sizes state on self from "
+                        f"n_gpus, but {cls.name} defines neither "
+                        "on_device_lost nor drop_gpu; the cached device "
+                        "list goes stale after an injected GPU failure",
+                    )
 
 
 @register

@@ -13,8 +13,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: the callable surface :class:`repro.simulator.memory.DeviceMemory`
 #: drives; ``choose_victim`` is the only method subclasses *must*
-#: override, the hooks have no-op defaults
-REQUIRED_API = ("choose_victim", "on_insert", "on_access", "on_evict")
+#: override, the hooks have no-op defaults (``on_device_lost`` lets a
+#: policy drop cross-device state after an injected GPU failure)
+REQUIRED_API = (
+    "choose_victim",
+    "on_insert",
+    "on_access",
+    "on_evict",
+    "on_device_lost",
+)
 
 
 def validate_policy_class(cls: type, name: str = "") -> list:

@@ -13,6 +13,8 @@ harness invocations.  Each cell is keyed by a SHA-256 digest covering
   bandwidth/latency/model),
 * the canonical scheduler name and the effective DARTS threshold,
 * the prefetch window and the cell's mixed per-repetition seed,
+* the fault-injection plan (``None`` for fault-free sweeps), so faulted
+  and fault-free runs of the same cell never share an entry,
 * a code-version salt — the digest of all installed ``repro`` sources —
   so editing the simulator or a scheduler automatically invalidates
   every cached result.
@@ -128,6 +130,7 @@ def cell_key(
         "threshold": effective_threshold(spec, scheduler),
         "window": spec.window,
         "seed": rep_seed(spec.seed, scheduler, n, rep),
+        "faults": None if spec.faults is None else spec.faults.to_dict(),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()

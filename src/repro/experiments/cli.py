@@ -7,6 +7,7 @@ Examples::
     python -m repro.experiments all --scale small
     python -m repro.experiments fig3 --jobs 4           # fan out cells
     python -m repro.experiments fig3 --no-cache         # force recompute
+    python -m repro.experiments fig3 --fault-plan plan.json   # inject faults
 
 Sweep cells run through :mod:`repro.experiments.parallel`: ``--jobs N``
 fans independent ``(n, scheduler, repetition)`` simulations across N
@@ -28,6 +29,7 @@ from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.experiments.figures import FIGURES
 from repro.experiments.parallel import run_figure_parallel
 from repro.metrics.report import ascii_plot, format_series_table
+from repro.simulator.faults import load_fault_plan
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -75,9 +77,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="neither read nor write the result cache",
     )
     parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PATH_OR_JSON",
+        help="deterministic fault-injection plan applied to every sweep "
+        "cell: a JSON file path, or an inline JSON object (starts with "
+        "'{'); see repro.simulator.faults.FaultPlan",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="print points as they finish"
     )
     args = parser.parse_args(argv)
+
+    faults = None
+    if args.fault_plan is not None:
+        try:
+            faults = load_fault_plan(args.fault_plan)
+        except (OSError, ValueError) as exc:
+            print(f"bad --fault-plan: {exc}")
+            return 2
 
     figure_ids = sorted(FIGURES) if args.figure == "all" else [args.figure]
     unknown = [fid for fid in figure_ids if fid not in FIGURES]
@@ -101,6 +119,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             jobs=args.jobs,
             cache=cache,
             verbose=args.verbose,
+            faults=faults,
         )
         elapsed = time.perf_counter() - t0
         print(format_series_table(sweep, metric=config.metric))

@@ -26,6 +26,7 @@ from repro.core.problem import TaskGraph
 from repro.metrics.collect import Measurement, Sweep
 from repro.platform.spec import PlatformSpec
 from repro.schedulers.registry import make_scheduler
+from repro.simulator.faults import FaultPlan
 from repro.simulator.runtime import simulate
 
 
@@ -46,13 +47,18 @@ class SweepSpec:
     #: DARTS threshold applied when a scheduler name carries +threshold
     threshold: Optional[int] = None
     repetitions: int = 1
+    #: deterministic fault-injection plan applied to every cell
+    #: (``None`` = fault-free, byte-identical to the pre-fault harness)
+    faults: Optional[FaultPlan] = None
 
 
 #: computes one ``(n, scheduler, repetition)`` cell; the trailing graph
 #: argument is the instance already built for this ``n`` (runners that
-#: look results up instead of simulating may ignore it)
+#: look results up instead of simulating may ignore it).  A runner may
+#: return ``None`` for a cell it could not produce (e.g. excluded after
+#: repeated worker crashes); the sweep assembly skips such cells.
 CellRunner = Callable[
-    ["SweepSpec", int, str, int, Optional[TaskGraph]], Measurement
+    ["SweepSpec", int, str, int, Optional[TaskGraph]], Optional[Measurement]
 ]
 
 
@@ -96,6 +102,7 @@ def run_cell(
         eviction=eviction,
         window=spec.window,
         seed=rep_seed(spec.seed, scheduler, n, rep),
+        faults=spec.faults,
     )
     return Measurement.from_result(
         result, n=n, working_set_mb=graph.working_set_bytes / 1e6
@@ -137,10 +144,16 @@ def run_sweep(
             / 1e6
         )
         for name in spec.schedulers:
-            measurements = [
+            maybe = [
                 runner(spec, n, name, rep, graph)
                 for rep in range(max(1, spec.repetitions))
             ]
+            measurements = [m for m in maybe if m is not None]
+            if not measurements:
+                # every repetition of this cell failed (excluded by the
+                # parallel executor); skip the point rather than abort
+                # the whole sweep — partial merges stay usable.
+                continue
             m = _average(measurements)
             sweep.add(m)
             if verbose:

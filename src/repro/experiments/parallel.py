@@ -30,14 +30,27 @@ too, making warm reruns byte-identical end to end.
 A :class:`repro.experiments.cache.ResultCache` plugs in before the
 fan-out: cached cells are looked up first and only the misses are
 simulated (then stored), so a warm rerun performs zero simulations.
+
+Fault tolerance: the pool survives killed workers (``BrokenProcessPool``
+— e.g. the OOM killer taking out one child mid-sweep) and wedged cells
+(a per-cell wall-clock timeout).  Affected cells are retried with a
+capped exponential backoff; a cell that keeps failing after
+``max_attempts`` rounds is *excluded* — reported in the merge footer and
+skipped by the assembly (`run_sweep` averages the repetitions that did
+complete and drops the point entirely when none did).  Only cleanly
+completed cells are ever written to the cache, so a crash can never
+poison future warm runs.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, NamedTuple, Optional, Tuple
+import time
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.core.problem import TaskGraph
 from repro.experiments.cache import ResultCache
@@ -49,6 +62,9 @@ from repro.experiments.harness import (
 )
 from repro.metrics.collect import Measurement, Sweep
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.faults import FaultPlan
+
 
 class Cell(NamedTuple):
     """One independent unit of sweep work."""
@@ -56,6 +72,14 @@ class Cell(NamedTuple):
     n: int
     scheduler: str
     rep: int
+
+
+class ExcludedCell(NamedTuple):
+    """A cell dropped from the merge after exhausting its retry budget."""
+
+    cell: Cell
+    attempts: int
+    error: str
 
 
 def enumerate_cells(spec: SweepSpec) -> List[Cell]:
@@ -102,26 +126,133 @@ def _run_indexed_cell(i: int) -> Tuple[int, Measurement]:
     )
 
 
+def _teardown_pool(pool: ProcessPoolExecutor) -> None:
+    """Abandon a wedged/broken pool without waiting on its workers."""
+    pool.shutdown(wait=False, cancel_futures=True)
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - best effort
+            pass
+
+
 def _compute_pool(
     spec: SweepSpec,
     cells: List[Cell],
     graphs: Dict[int, TaskGraph],
     jobs: int,
-) -> Dict[Cell, Measurement]:
+    cell_timeout: float = 600.0,
+    max_attempts: int = 3,
+    retry_backoff: float = 0.5,
+) -> Tuple[Dict[Cell, Measurement], List[ExcludedCell]]:
+    """Run ``cells`` across a process pool, surviving crashes and hangs.
+
+    Each round submits every still-pending cell to a fresh pool.  A cell
+    whose future raises (worker exception), whose pool breaks under it
+    (killed worker), or that exceeds ``cell_timeout`` of wall clock is
+    charged one failed attempt and retried next round after a capped
+    exponential backoff; cells untouched by the abort keep their attempt
+    budget.  After ``max_attempts`` failures a cell is excluded and
+    reported instead of aborting the sweep.
+    """
     global _FORK_SPEC, _FORK_CELLS, _FORK_GRAPHS
     ctx = multiprocessing.get_context("fork")
+    results: Dict[Cell, Measurement] = {}
+    attempts = [0] * len(cells)
+    errors: Dict[int, str] = {}
+    excluded: List[ExcludedCell] = []
     # Largest instances dominate the wall clock; dispatch them first so
     # the tail of the schedule is short cells, not one straggler.
-    order = sorted(range(len(cells)), key=lambda i: -cells[i].n)
+    pending = sorted(range(len(cells)), key=lambda i: (-cells[i].n, i))
     _FORK_SPEC, _FORK_CELLS, _FORK_GRAPHS = spec, list(cells), graphs
     try:
-        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
-            results: Dict[Cell, Measurement] = {}
-            for i, m in pool.map(_run_indexed_cell, order):
-                results[cells[i]] = m
-            return results
+        round_no = 0
+        while pending:
+            round_no += 1
+            if round_no > 1:
+                time.sleep(min(retry_backoff * 2 ** (round_no - 2), 5.0))
+            pool = ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)), mp_context=ctx
+            )
+            futures = [(i, pool.submit(_run_indexed_cell, i)) for i in pending]
+            done: List[int] = []
+            failed: List[int] = []
+            aborted = False
+            try:
+                for i, fut in futures:
+                    if aborted:
+                        break
+                    try:
+                        idx, m = fut.result(timeout=cell_timeout)
+                        results[cells[idx]] = m
+                        done.append(idx)
+                    except FutureTimeout:
+                        errors[i] = (
+                            f"no result within {cell_timeout:.0f}s wall clock"
+                        )
+                        failed.append(i)
+                        aborted = True  # pool is wedged; rebuild it
+                    except BrokenProcessPool:
+                        errors[i] = "worker process died (pool broken)"
+                        failed.append(i)
+                        aborted = True  # pool is unusable; rebuild it
+                    except Exception as exc:
+                        errors[i] = f"{type(exc).__name__}: {exc}"
+                        failed.append(i)
+            finally:
+                if aborted:
+                    _teardown_pool(pool)
+                else:
+                    pool.shutdown(wait=True)
+            survivors: List[int] = []
+            for i in failed:
+                attempts[i] += 1
+                if attempts[i] >= max_attempts:
+                    excluded.append(
+                        ExcludedCell(cells[i], attempts[i], errors[i])
+                    )
+                else:
+                    survivors.append(i)
+            finished = set(done)
+            blamed = set(failed)
+            # Cells neither finished nor blamed were innocent bystanders
+            # of an aborted round: they retry without losing budget.
+            pending = survivors + [
+                i for i in pending if i not in finished and i not in blamed
+            ]
+            pending.sort(key=lambda i: (-cells[i].n, i))
+        return results, excluded
     finally:
         _FORK_SPEC, _FORK_CELLS, _FORK_GRAPHS = None, [], {}
+
+
+def _compute_serial(
+    spec: SweepSpec,
+    cells: List[Cell],
+    graphs: Dict[int, TaskGraph],
+    max_attempts: int = 3,
+    retry_backoff: float = 0.5,
+) -> Tuple[Dict[Cell, Measurement], List[ExcludedCell]]:
+    """In-process fallback with the same retry/exclusion semantics."""
+    results: Dict[Cell, Measurement] = {}
+    excluded: List[ExcludedCell] = []
+    for cell in cells:
+        last = ""
+        for attempt in range(1, max_attempts + 1):
+            if attempt > 1:
+                time.sleep(min(retry_backoff * 2 ** (attempt - 2), 5.0))
+            try:
+                results[cell] = run_cell(
+                    spec, cell.n, cell.scheduler, cell.rep,
+                    graph=graphs[cell.n],
+                )
+                break
+            except Exception as exc:
+                last = f"{type(exc).__name__}: {exc}"
+        else:
+            excluded.append(ExcludedCell(cell, max_attempts, last))
+    return results, excluded
 
 
 def run_sweep_parallel(
@@ -129,11 +260,19 @@ def run_sweep_parallel(
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     verbose: bool = False,
+    cell_timeout: float = 600.0,
+    max_attempts: int = 3,
+    retry_backoff: float = 0.5,
 ) -> Sweep:
     """Execute ``spec`` across ``jobs`` workers, reusing cached cells.
 
     Produces exactly the :class:`Sweep` of ``run_sweep(spec)`` — same
-    series, same values, same order — for every ``jobs`` value.
+    series, same values, same order — for every ``jobs`` value.  Cells
+    that crash or hang are retried up to ``max_attempts`` times (capped
+    exponential backoff starting at ``retry_backoff`` seconds, per-cell
+    wall-clock budget ``cell_timeout``); persistent failures are excluded
+    from the merge and reported in a footer instead of aborting.  Only
+    cleanly completed cells are written to ``cache``.
     """
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     cells = enumerate_cells(spec)
@@ -155,23 +294,29 @@ def run_sweep_parallel(
     else:
         missing = list(cells)
 
+    excluded: List[ExcludedCell] = []
     if missing:
         if jobs > 1 and len(missing) > 1 and fork_available():
-            computed = _compute_pool(
-                spec, missing, graphs, min(jobs, len(missing))
+            computed, excluded = _compute_pool(
+                spec,
+                missing,
+                graphs,
+                min(jobs, len(missing)),
+                cell_timeout=cell_timeout,
+                max_attempts=max_attempts,
+                retry_backoff=retry_backoff,
             )
         else:
-            computed = {
-                cell: run_cell(
-                    spec,
-                    cell.n,
-                    cell.scheduler,
-                    cell.rep,
-                    graph=graphs[cell.n],
-                )
-                for cell in missing
-            }
+            computed, excluded = _compute_serial(
+                spec,
+                missing,
+                graphs,
+                max_attempts=max_attempts,
+                retry_backoff=retry_backoff,
+            )
         if cache is not None:
+            # Excluded cells never reach `computed`, so nothing a crash
+            # touched can be stored and poison a warm rerun.
             for cell, m in computed.items():
                 cache.put(keys[cell], m)
         results.update(computed)
@@ -182,10 +327,21 @@ def run_sweep_parallel(
         name: str,
         rep: int,
         graph: Optional[TaskGraph] = None,
-    ) -> Measurement:
-        return results[Cell(n, name, rep)]
+    ) -> Optional[Measurement]:
+        return results.get(Cell(n, name, rep))
 
-    return run_sweep(spec, verbose=verbose, cell_runner=lookup)
+    sweep = run_sweep(spec, verbose=verbose, cell_runner=lookup)
+    if excluded:
+        print(
+            f"  [merge: {len(excluded)} cell(s) excluded after "
+            f"{max_attempts} attempt(s) each]"
+        )
+        for exc_cell in sorted(excluded, key=lambda e: e.cell):
+            c = exc_cell.cell
+            print(
+                f"    n={c.n} {c.scheduler} rep={c.rep}: {exc_cell.error}"
+            )
+    return sweep
 
 
 def run_figure_parallel(
@@ -195,7 +351,14 @@ def run_figure_parallel(
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     verbose: bool = False,
+    faults: Optional["FaultPlan"] = None,
 ) -> Sweep:
-    """Parallel, cache-aware counterpart of ``harness.run_figure``."""
+    """Parallel, cache-aware counterpart of ``harness.run_figure``.
+
+    ``faults`` overlays a deterministic fault-injection plan on every
+    cell of the figure's sweep (see :mod:`repro.simulator.faults`).
+    """
     spec = figure_spec(figure_id, scale=scale, points=points)
+    if faults is not None:
+        spec = replace(spec, faults=faults)
     return run_sweep_parallel(spec, jobs=jobs, cache=cache, verbose=verbose)

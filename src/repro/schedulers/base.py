@@ -97,6 +97,25 @@ class Scheduler:
     def on_data_evicted(self, gpu: int, data_id: int) -> None:
         """``data_id`` was evicted from ``gpu``'s memory."""
 
+    def on_device_lost(self, gpu: int, requeued: Sequence[int]) -> None:
+        """GPU ``gpu`` failed permanently; ``requeued`` are the tasks it
+        was running or had buffered, returned to this scheduler to place
+        on the surviving devices.
+
+        Every scheduler holding per-GPU structures (allocation lists,
+        free-task indices, cached device counts) MUST rebalance here —
+        handing out a task for a dead GPU afterwards is a runtime error.
+        The base deliberately raises instead of silently dropping the
+        tasks: a scheduler that cannot recover must fail loudly (the
+        API004 lint rule flags strategies that cache the device list
+        without implementing this hook).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement on_device_lost; "
+            "it cannot survive device failure (tasks "
+            f"{list(requeued)} from GPU {gpu} would be lost)"
+        )
+
     # ------------------------------------------------------------------
     # introspection (used by the LUF eviction policy and reports)
     # ------------------------------------------------------------------

@@ -79,6 +79,8 @@ class Darts(Scheduler):
             set(range(graph.n_data)) for _ in range(view.n_gpus)
         ]
         self._executed: Set[int] = set()
+        #: GPUs lost to injected device failures (never refilled again)
+        self._dead_gpus: Set[int] = set()
         total_memory = sum(g.memory_bytes for g in view.platform.gpus)
         self._threshold_active = (
             self.threshold is not None
@@ -153,6 +155,8 @@ class Darts(Scheduler):
         view = self.view
         graph = view.graph
         for g in range(view.n_gpus):
+            if g in self._dead_gpus:
+                continue  # wiped memory makes the dead GPU's rows stale
             held = view.held(g)
             idx: Dict[int, Set[int]] = {}
             for t in range(graph.n_tasks):
@@ -373,6 +377,26 @@ class Darts(Scheduler):
                         s.discard(t)
                 elif old == 2:
                     idx.setdefault(ms[t], set()).add(t)
+
+    def on_device_lost(self, gpu: int, requeued: Sequence[int]) -> None:
+        """Return the dead GPU's reservations to the common pool.
+
+        Both the runtime-pulled ``requeued`` tasks and this scheduler's
+        own ``plannedTasks`` reservations for ``gpu`` become unowned
+        again, re-entering the free-task index so surviving GPUs pick
+        them up on their next refill.  The dead GPU's per-GPU index rows
+        are left frozen — they are never queried again (``next_task`` is
+        never called for a dead GPU; ``check_index`` skips it).
+        """
+        self._dead_gpus.add(gpu)
+        returned = list(requeued) + list(self._planned[gpu])
+        self._planned[gpu].clear()
+        for t in returned:
+            if t in self._executed or t in self._unowned:
+                continue
+            self._unowned.add(t)
+            if self._use_index:
+                self._index_add_task(t)
 
     def on_data_evicted(self, gpu: int, data_id: int) -> None:
         """Algorithm 6 line 8: un-reserve planned tasks needing the victim."""

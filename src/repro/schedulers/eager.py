@@ -10,7 +10,7 @@ memory (LRU then reloads the whole B matrix per block-row of A).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Optional, Sequence
 
 from repro.schedulers.base import Scheduler
 
@@ -37,3 +37,10 @@ class Eager(Scheduler):
                 del self._queue[pos]
                 return task
         return None
+
+    def on_device_lost(self, gpu: int, requeued: Sequence[int]) -> None:
+        # The queue is shared, so nothing is owned by the dead GPU;
+        # its pulled-back tasks go to the front in their original order
+        # (they were submitted earliest among the remaining work).
+        for task in reversed(requeued):
+            self._queue.appendleft(task)

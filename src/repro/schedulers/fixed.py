@@ -47,6 +47,9 @@ class FixedSchedule(Scheduler):
         for k, order in enumerate(self.schedule.order):
             self._lists.assign(k, order)
 
+    def on_device_lost(self, gpu: int, requeued: Sequence[int]) -> None:
+        self._lists.drop_gpu(gpu, requeued)
+
     def next_task(self, gpu: int) -> Optional[int]:
         while True:
             if self.use_ready:

@@ -64,6 +64,9 @@ class HmetisR(Scheduler):
     def on_data_evicted(self, gpu: int, data_id: int) -> None:
         self._lists.on_data_evicted(gpu, data_id)
 
+    def on_device_lost(self, gpu: int, requeued: Sequence[int]) -> None:
+        self._lists.drop_gpu(gpu, requeued)
+
     def next_task(self, gpu: int) -> Optional[int]:
         while True:
             if self.use_ready:

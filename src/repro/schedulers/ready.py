@@ -8,7 +8,7 @@ hMETIS+R and mHFP.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional, Set
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulator.runtime import RuntimeView
@@ -39,6 +39,8 @@ class ReadyLists:
         self._mb: Optional[List[List[float]]] = None
         self._graph = None
         self._sizes: List[float] = []
+        #: GPUs removed from the device set by :meth:`drop_gpu`
+        self._dead: Set[int] = set()
 
     def enable_incremental(self, view: "RuntimeView") -> bool:
         """Build the missing-bytes cache; False when ineligible."""
@@ -77,11 +79,35 @@ class ReadyLists:
         for t in self._graph.users_of(data_id):
             mb[t] += sz
 
+    def drop_gpu(self, gpu: int, requeued: Iterable[int]) -> None:
+        """Remove ``gpu`` from the device set, redistributing its tasks.
+
+        ``requeued`` (the tasks the runtime pulled back from the dead
+        GPU's buffer) plus whatever was still allocated to it are handed
+        to the surviving lists, each orphan going to the currently
+        shortest list (ties to the lowest GPU index — deterministic).
+        The dead GPU's list is left empty so ``steal_half`` never picks
+        it as a victim and ``pop_*`` never returns work for it.
+        """
+        self._dead.add(gpu)
+        orphans = list(requeued) + self.lists[gpu]
+        self.lists[gpu] = []
+        alive = [
+            g for g in range(len(self.lists)) if g not in self._dead
+        ]
+        if not alive:
+            raise RuntimeError("drop_gpu removed the last surviving GPU")
+        for task in orphans:
+            target = min(alive, key=lambda g: (len(self.lists[g]), g))
+            self.lists[target].append(task)
+
     def check_incremental(self, view: "RuntimeView") -> None:
         """Assert the cache equals fresh ``missing_bytes`` (tests)."""
         if self._mb is None:
             return
         for g in range(len(self.lists)):
+            if g in self._dead:
+                continue  # wiped memory makes the cached rows stale
             for t in range(self._graph.n_tasks):
                 fresh = view.missing_bytes(g, t)
                 assert self._mb[g][t] == fresh, (

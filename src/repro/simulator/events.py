@@ -159,6 +159,76 @@ class EngineStep(RuntimeEvent):
     now: float
 
 
+@dataclass(frozen=True)
+class PeerTransferStarted(RuntimeEvent):
+    """A peer-link copy of ``data_id`` from ``src`` to ``dst`` began."""
+
+    time: float
+    src: int
+    dst: int
+    data_id: int
+
+
+@dataclass(frozen=True)
+class DeviceFailed(RuntimeEvent):
+    """GPU ``gpu`` dropped off the node permanently (fault injection)."""
+
+    time: float
+    gpu: int
+
+
+@dataclass(frozen=True)
+class DataReplicaLost(RuntimeEvent):
+    """``gpu`` held (or was fetching) ``data_id`` when it failed; the
+    replica is gone and must be re-fetched elsewhere from the host or a
+    surviving peer."""
+
+    time: float
+    gpu: int
+    data_id: int
+
+
+@dataclass(frozen=True)
+class TaskRequeued(RuntimeEvent):
+    """``task`` was running or buffered on failed GPU ``gpu`` and was
+    returned to the scheduler via ``on_device_lost``."""
+
+    time: float
+    gpu: int
+    task: int
+
+
+@dataclass(frozen=True)
+class TransferFailed(RuntimeEvent):
+    """Attempt ``attempt`` of a transfer of ``data_id`` into ``gpu``
+    was corrupted (or its peer source died mid-copy)."""
+
+    time: float
+    gpu: int
+    data_id: int
+    attempt: int
+
+
+@dataclass(frozen=True)
+class TransferRetried(RuntimeEvent):
+    """A failed transfer of ``data_id`` into ``gpu`` was resubmitted
+    (``attempt`` is the new attempt number)."""
+
+    time: float
+    gpu: int
+    data_id: int
+    attempt: int
+
+
+@dataclass(frozen=True)
+class DegradedMode(RuntimeEvent):
+    """A device failure left only ``alive`` GPUs; the run continues on
+    the surviving capacity."""
+
+    time: float
+    alive: Tuple[int, ...]
+
+
 #: the full taxonomy, in lifecycle order (used by subscribe-all helpers
 #: and the DESIGN.md event table)
 RUNTIME_EVENT_TYPES: Tuple[Type[RuntimeEvent], ...] = (
@@ -174,6 +244,13 @@ RUNTIME_EVENT_TYPES: Tuple[Type[RuntimeEvent], ...] = (
     MemoryUsageChanged,
     TransferCompleted,
     EngineStep,
+    PeerTransferStarted,
+    DeviceFailed,
+    DataReplicaLost,
+    TaskRequeued,
+    TransferFailed,
+    TransferRetried,
+    DegradedMode,
 )
 
 _NO_SUBSCRIBERS: Tuple[Callable[[RuntimeEvent], None], ...] = ()
@@ -233,10 +310,42 @@ class EventStream:
 
         Subscriber exceptions propagate to the caller deliberately: a
         strict sanitizer must be able to abort the simulation at the
-        offending event.
+        offending event.  The offending event's repr and the subscriber's
+        name are attached to the exception so the failure is attributable
+        without re-running under a debugger.
         """
         for handler in self._subscribers.get(type(event), _NO_SUBSCRIBERS):
-            handler(event)
+            try:
+                handler(event)
+            except Exception as exc:
+                _annotate_dispatch_error(exc, handler, event)
+                raise
 
     def subscriber_count(self, event_type: Type[RuntimeEvent]) -> int:
         return len(self._subscribers.get(event_type, ()))
+
+
+def _annotate_dispatch_error(
+    exc: BaseException,
+    handler: Callable[[RuntimeEvent], None],
+    event: RuntimeEvent,
+) -> None:
+    """Attach the event repr + subscriber name to a propagating error.
+
+    Uses ``add_note`` (3.11+) when available, otherwise appends to the
+    exception's message args — either way the original exception object,
+    type, and traceback are preserved for the re-raise.
+    """
+    name = getattr(handler, "__qualname__", None) or repr(handler)
+    note = f"while dispatching {event!r} to subscriber {name}"
+    add_note = getattr(exc, "add_note", None)
+    if add_note is not None:
+        try:
+            add_note(note)
+            return
+        except Exception:  # pragma: no cover - exotic exception classes
+            pass
+    if exc.args and isinstance(exc.args[0], str):
+        exc.args = (f"{exc.args[0]}\n  {note}",) + exc.args[1:]
+    else:
+        exc.args = exc.args + (note,)

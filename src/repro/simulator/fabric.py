@@ -26,8 +26,26 @@ from typing import Callable, List, Optional, Sequence
 from repro.platform.spec import BusSpec
 from repro.simulator.bus import Bus, FairShareBus
 from repro.simulator.engine import SimulationEngine
-from repro.simulator.events import EventStream
+from repro.simulator.events import (
+    EventStream,
+    PeerTransferStarted,
+    TransferFailed,
+    TransferRetried,
+)
 from repro.simulator.routing import TransferRouter
+
+
+class _PeerCopy:
+    """One in-flight peer-link copy, poisoned if its source GPU dies."""
+
+    __slots__ = ("src", "dst", "data_id", "size", "poisoned")
+
+    def __init__(self, src: int, dst: int, data_id: int, size: float) -> None:
+        self.src = src
+        self.dst = dst
+        self.data_id = data_id
+        self.size = size
+        self.poisoned = False
 
 
 class PeerFabric(TransferRouter):
@@ -43,6 +61,7 @@ class PeerFabric(TransferRouter):
     ) -> None:
         self.engine = engine
         self.host_bus = host_bus
+        self.events: Optional[EventStream] = events
         #: one egress channel per source GPU (fair-shared among its
         #: concurrent outgoing copies); instrumented on the same event
         #: stream as the host bus so bus-conservation checks cover them
@@ -51,6 +70,9 @@ class PeerFabric(TransferRouter):
             for _ in range(n_gpus)
         ]
         self._memories: Optional[Sequence[object]] = None
+        #: in-flight peer copies, in submission order; device-failure
+        #: injection poisons the entries whose source just died
+        self._inflight: List[_PeerCopy] = []
         # statistics
         self.bytes_from_host: float = 0.0
         self.bytes_from_peer: float = 0.0
@@ -83,6 +105,19 @@ class PeerFabric(TransferRouter):
                 return k
         return None
 
+    def on_device_failed(self, gpu: int) -> None:
+        """GPU ``gpu`` died: poison its in-flight outgoing peer copies.
+
+        The poisoned copies still occupy their (now dead) source channel
+        until their modelled completion — the link hardware does not know
+        the payload is garbage — at which point :meth:`submit`'s
+        completion handler discards them and re-sources the datum from
+        the host instead of delivering corrupt bytes.
+        """
+        for copy in self._inflight:
+            if copy.src == gpu:
+                copy.poisoned = True
+
     def submit(
         self,
         size: float,
@@ -100,9 +135,63 @@ class PeerFabric(TransferRouter):
         src_mem.pin(data_id)
         self.bytes_from_peer += size
         self.peer_transfers += 1
+        record = _PeerCopy(src, dst, data_id, size)
+        self._inflight.append(record)
+        events = self.events
+        if events is not None and events.wants(PeerTransferStarted):
+            events.publish(
+                PeerTransferStarted(
+                    time=self.engine.now, src=src, dst=dst, data_id=data_id
+                )
+            )
 
         def done() -> None:
+            self._inflight.remove(record)
+            if record.poisoned:
+                self._failover_to_host(record, on_complete)
+                return
             src_mem.unpin(data_id)
             on_complete()
 
         self.peer_channels[src].submit(size, dst, done, data_id=data_id)
+
+    def _failover_to_host(
+        self, record: _PeerCopy, on_complete: Callable[[], None]
+    ) -> None:
+        """A peer copy's source died mid-transfer: refetch from host.
+
+        The destination's fetch stays in FETCHING state throughout — its
+        ``on_complete`` is simply carried over to the host resubmission —
+        so the memory layer never observes the failure.  No source unpin
+        happens (the source memory wiped its pin table when it failed).
+        """
+        dst_mem = (
+            self._memories[record.dst] if self._memories is not None else None
+        )
+        events = self.events
+        if events is not None and events.wants(TransferFailed):
+            events.publish(
+                TransferFailed(
+                    time=self.engine.now,
+                    gpu=record.dst,
+                    data_id=record.data_id,
+                    attempt=1,
+                )
+            )
+        if dst_mem is not None and getattr(dst_mem, "failed", False):
+            # both ends are gone; nobody is waiting for the payload
+            on_complete()
+            return
+        if events is not None and events.wants(TransferRetried):
+            events.publish(
+                TransferRetried(
+                    time=self.engine.now,
+                    gpu=record.dst,
+                    data_id=record.data_id,
+                    attempt=2,
+                )
+            )
+        self.bytes_from_host += record.size
+        self.host_bus.submit(
+            record.size, record.dst, on_complete, data_id=record.data_id
+        )

@@ -37,19 +37,24 @@ from repro.core.problem import TaskGraph
 from repro.platform.spec import PlatformSpec
 from repro.schedulers.base import Scheduler
 from repro.simulator.bus import make_bus
-from repro.simulator.engine import SimulationEngine
+from repro.simulator.engine import EventHandle, SimulationEngine
 from repro.simulator.events import (
+    DataReplicaLost,
+    DegradedMode,
+    DeviceFailed,
     Evicted,
     EventStream,
     FetchCompleted,
     FetchIssued,
     TaskCompleted,
+    TaskRequeued,
     WriteBackCompleted,
     WriteBackStarted,
 )
+from repro.simulator.faults import FaultPlan
 from repro.simulator.memory import DeviceMemory
 from repro.simulator.prefetch import Prefetcher
-from repro.simulator.routing import HostRouter, TransferRouter
+from repro.simulator.routing import HostRouter, RetryingRouter, TransferRouter
 from repro.simulator.sanitizer import Sanitizer, is_enabled as _sanitizer_enabled
 from repro.simulator.trace import GpuStats, RunResult, TraceRecorder
 from repro.simulator.view import RuntimeView
@@ -99,6 +104,7 @@ class RuntimeKernel:
         decision_op_cost: float = 5e-8,
         dependencies: Optional[object] = None,
         sanitize: Union[None, bool, Sanitizer] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if window < 1:
             raise ValueError("task buffer window must be >= 1")
@@ -109,6 +115,30 @@ class RuntimeKernel:
         self.scheduler = scheduler
         self.window = window
         self.rng = random.Random(seed)
+        # Fault plan normalisation: an empty plan is *identical* to no
+        # plan — no wrapper installed, no rng built, no event scheduled —
+        # which is what keeps fault-free golden digests byte-identical.
+        self.faults: Optional[FaultPlan] = (
+            faults if faults is not None and not faults.is_empty() else None
+        )
+        if self.faults is not None:
+            self.faults.validate(platform.n_gpus)
+            if self.faults.device_failures and graph.has_outputs:
+                raise ValueError(
+                    "device failures are not supported with produced "
+                    "(output) data: a failure could destroy the only copy "
+                    "of an output, breaking exactly-once completion"
+                )
+        #: per-GPU liveness; flipped by _fail_device, read by every poke
+        self.dead: List[bool] = [False] * platform.n_gpus
+        #: per-GPU compute slowdown factor (straggler injection)
+        self._slowdown: List[float] = [1.0] * platform.n_gpus
+        if self.faults is not None:
+            for s in self.faults.stragglers:
+                self._slowdown[s.gpu] *= s.factor
+        #: engine handles of scheduled device failures (cancelled when
+        #: the last task completes so they cannot extend the makespan)
+        self._fault_handles: List[EventHandle] = []
         #: the one instrumentation stream every layer publishes on
         self.events = EventStream()
         # Invariant sanitizer: explicit instance > explicit bool > the
@@ -144,6 +174,20 @@ class RuntimeKernel:
         self.fetch_router: TransferRouter = (
             self.fabric if self.fabric is not None else HostRouter(self.bus)
         )
+        #: injection rng — separate from the scheduler rng so installing
+        #: a plan never perturbs scheduling decisions
+        self._fault_rng: Optional[random.Random] = None
+        if self.faults is not None:
+            self._fault_rng = random.Random(self.faults.seed)
+            if self.faults.transfer_faults is not None:
+                self.fetch_router = RetryingRouter(
+                    inner=self.fetch_router,
+                    engine=self.engine,
+                    rng=self._fault_rng,
+                    corruption=self.faults.transfer_faults,
+                    events=self.events,
+                    alive=self._is_alive,
+                )
         #: transport serving output write-backs
         self.store_router: Optional[TransferRouter] = (
             HostRouter(self.store_bus) if self.store_bus is not None else None
@@ -223,6 +267,14 @@ class RuntimeKernel:
         # tests drive memories/buses directly through an idle kernel.
         self._started = False
 
+        if self.faults is not None:
+            for f in self.faults.device_failures:
+                self._fault_handles.append(
+                    self.engine.schedule_at(
+                        f.time, lambda g=f.gpu: self._fail_device(g)
+                    )
+                )
+
         # Subscriber wiring.  Order matters and mirrors the inline call
         # order of the pre-split runtime: sanitizer checks fire before
         # the trace records an event, and the trace records before the
@@ -287,8 +339,87 @@ class RuntimeKernel:
             self._poke(k)
 
     def _poke(self, gpu: int) -> None:
+        if self.dead[gpu]:
+            return
         self.prefetcher.fill_buffer(gpu)
         self._worker_loops[gpu].try_start()
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def _is_alive(self, gpu: int) -> bool:
+        return not self.dead[gpu]
+
+    def _cancel_pending_faults(self) -> None:
+        """Cancel injected failures that have not fired yet.
+
+        Called when the last task completes: an injected failure past
+        the natural makespan must not keep the event heap alive and
+        stretch ``engine.now`` beyond the real finish time.
+        """
+        for h in self._fault_handles:
+            if not h.cancelled:
+                h.cancel()
+        self._fault_handles.clear()
+
+    def _fail_device(self, gpu: int) -> None:
+        """Execute a planned device failure: GPU ``gpu`` is gone.
+
+        Recovery sequence (order is part of the determinism contract):
+        cancel the in-flight execution, wipe the memory (publishing one
+        :class:`~repro.simulator.events.DataReplicaLost` per replica in
+        datum order), requeue the running + buffered tasks through the
+        scheduler's ``on_device_lost`` hook, notify surviving eviction
+        policies, announce :class:`~repro.simulator.events.DegradedMode`,
+        and re-poke the survivors so they pick up the requeued work.
+        """
+        if self.dead[gpu] or self._remaining == 0:
+            return
+        self.dead[gpu] = True
+        w = self.workers[gpu]
+        if w.exec_event is not None and not w.exec_event.cancelled:
+            w.exec_event.cancel()
+        w.exec_event = None
+        if w.gate_event is not None and not w.gate_event.cancelled:
+            w.gate_event.cancel()
+        w.gate_event = None
+        requeued: List[int] = []
+        if w.executing is not None:
+            requeued.append(w.executing)
+            w.executing = None
+        requeued.extend(w.buffer)
+        w.buffer.clear()
+        if w.staged is not None:
+            requeued.append(w.staged)
+            w.staged = None
+        w.exhausted = True
+        for t in requeued:
+            self._task_gate.pop(t, None)
+        now = self.engine.now
+        events = self.events
+        if events.wants(DeviceFailed):
+            events.publish(DeviceFailed(time=now, gpu=gpu))
+        lost = sorted(self.memories[gpu].fail())
+        if events.wants(DataReplicaLost):
+            for d in lost:
+                events.publish(DataReplicaLost(time=now, gpu=gpu, data_id=d))
+        if self.fabric is not None:
+            self.fabric.on_device_failed(gpu)
+        if events.wants(TaskRequeued):
+            for t in requeued:
+                events.publish(TaskRequeued(time=now, gpu=gpu, task=t))
+        t0 = _time.perf_counter()
+        self.scheduler.on_device_lost(gpu, tuple(requeued))
+        self._decision_time += _time.perf_counter() - t0
+        for k, mem in enumerate(self.memories):
+            if not self.dead[k]:
+                mem.policy.on_device_lost(gpu)
+        if events.wants(DegradedMode):
+            alive = tuple(
+                k for k in range(self.platform.n_gpus) if not self.dead[k]
+            )
+            events.publish(DegradedMode(time=now, alive=alive))
+        self._poke_all()
 
     # ------------------------------------------------------------------
     # control-plane event subscribers

@@ -83,6 +83,10 @@ class EvictionPolicyProtocol:
     def on_evict(self, data_id: int) -> None:
         """``data_id`` was evicted."""
 
+    def on_device_lost(self, gpu: int) -> None:
+        """GPU ``gpu`` (not necessarily this policy's) failed; drop any
+        cached cross-device state.  Default: nothing to drop."""
+
     def choose_victim(self, candidates: Set[int]) -> int:
         raise NotImplementedError
 
@@ -131,6 +135,9 @@ class DeviceMemory:
         #: data whose eviction has begun but not yet finished — peer
         #: routing must not pick these as transfer sources
         self._evicting: Set[int] = set()
+        #: set by :meth:`fail` on device loss; all operations become
+        #: no-ops so late transfer completions land harmlessly
+        self.failed: bool = False
         # statistics
         self.n_loads: int = 0
         self.bytes_loaded: float = 0.0
@@ -180,12 +187,16 @@ class DeviceMemory:
     # pinning
     # ------------------------------------------------------------------
     def pin(self, d: int) -> None:
+        if self.failed:
+            return
         c = self._pins.get(d, 0)
         self._pins[d] = c + 1
         if c == 0:
             self._evictable.discard(d)
 
     def unpin(self, d: int) -> None:
+        if self.failed:
+            return
         c = self._pins.get(d, 0)
         if c <= 0:
             raise ValueError(f"unpin of unpinned data {d} on GPU {self.gpu}")
@@ -209,6 +220,8 @@ class DeviceMemory:
         for the head task (deeper prefetches stay unprotected, which is
         what allows the LRU "domino effect" the paper describes).
         """
+        if self.failed:
+            return
         if d in self._state or d in self._pending_set:
             return
         if self.sizes[d] > self.capacity:
@@ -236,6 +249,8 @@ class DeviceMemory:
         blocking later entries; running out of space stops the drain
         (space is the ordered resource).
         """
+        if self.failed:
+            return
         i = 0
         while i < len(self._pending):
             d, protected = self._pending[i]
@@ -275,6 +290,8 @@ class DeviceMemory:
         retries on the next poke).  Idempotent for already-allocated
         outputs.
         """
+        if self.failed:
+            return False
         if d in self._state:
             if self._state[d] is DataState.ALLOCATED:
                 return True
@@ -345,6 +362,8 @@ class DeviceMemory:
             self._evicting.discard(d)
 
     def _fetch_done(self, d: int) -> None:
+        if self.failed:
+            return  # late completion of a transfer into a dead device
         assert self._state.get(d) is DataState.FETCHING
         self._state[d] = DataState.PRESENT
         self._fetching.discard(d)
@@ -375,6 +394,32 @@ class DeviceMemory:
                     capacity=self.capacity,
                 )
             )
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def fail(self) -> Set[int]:
+        """Device loss: wipe every replica and freeze this memory.
+
+        Returns the set of data the device held or was fetching (the
+        kernel publishes a
+        :class:`~repro.simulator.events.DataReplicaLost` per datum).
+        All subsequent operations — including completions of transfers
+        that were already in flight toward this GPU — become no-ops, so
+        nothing is re-materialised on a dead device.
+        """
+        lost = set(self._state)
+        self.failed = True
+        self._state.clear()
+        self._pins.clear()
+        self._present.clear()
+        self._fetching.clear()
+        self._evictable.clear()
+        self._pending.clear()
+        self._pending_set.clear()
+        self._evicting.clear()
+        self.used = 0.0
+        return lost
 
     # ------------------------------------------------------------------
     # diagnostics

@@ -18,9 +18,17 @@ them uniformly regardless of the configured transport.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.simulator.bus import Bus
+from repro.simulator.events import TransferFailed, TransferRetried
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import random
+
+    from repro.simulator.engine import SimulationEngine
+    from repro.simulator.events import EventStream
+    from repro.simulator.faults import TransferCorruption
 
 
 class TransferRouter:
@@ -82,3 +90,125 @@ class HostRouter(TransferRouter):
     ) -> None:
         self.bytes_from_host += size
         self.bus.submit(size, dst, on_complete, data_id=data_id)
+
+
+class RetryingRouter(TransferRouter):
+    """Bounded exponential-backoff retry around another router.
+
+    Installed by the kernel when the fault plan carries a
+    :class:`repro.simulator.faults.TransferCorruption` spec.  Every
+    identified fetch completion draws once from the injector's seeded
+    rng; a corrupted completion is reported as
+    :class:`~repro.simulator.events.TransferFailed` and resubmitted to
+    the inner router after ``backoff_base * backoff_factor**(attempt-1)``
+    virtual seconds (:class:`~repro.simulator.events.TransferRetried`).
+    After ``max_retries`` corrupted attempts the next attempt succeeds
+    unconditionally — bounded retry, graceful degradation.
+
+    Completions into a dead destination are passed straight through
+    (the failed memory ignores them) without drawing or retrying, so no
+    backoff event can outlive the work that needed the data.  Byte
+    accounting lives in the inner router; retries re-account each
+    attempt, which is the physical behaviour (the bytes really moved
+    again).
+    """
+
+    def __init__(
+        self,
+        inner: TransferRouter,
+        engine: "SimulationEngine",
+        rng: "random.Random",
+        corruption: "TransferCorruption",
+        events: "EventStream",
+        alive: Callable[[int], bool],
+    ) -> None:
+        self.inner = inner
+        self.engine = engine
+        self.rng = rng
+        self.corruption = corruption
+        self.events = events
+        self.alive = alive
+
+    @property
+    def bytes_from_host(self) -> float:  # type: ignore[override]
+        return self.inner.bytes_from_host
+
+    @property
+    def bytes_from_peer(self) -> float:  # type: ignore[override]
+        return self.inner.bytes_from_peer
+
+    def submit(
+        self,
+        size: float,
+        dst: int,
+        on_complete: Callable[[], None],
+        data_id: Optional[int] = None,
+    ) -> None:
+        if data_id is None:
+            # Unidentified traffic (write-back channel) is never wrapped
+            # by the kernel; keep the passthrough for direct users.
+            self.inner.submit(size, dst, on_complete, data_id=data_id)
+            return
+        self._attempt(size, dst, on_complete, data_id, attempt=1)
+
+    def _attempt(
+        self,
+        size: float,
+        dst: int,
+        on_complete: Callable[[], None],
+        data_id: int,
+        attempt: int,
+    ) -> None:
+        spec = self.corruption
+
+        def done() -> None:
+            if not self.alive(dst):
+                on_complete()  # dead destination ignores the payload
+                return
+            if (
+                attempt <= spec.max_retries
+                and self.rng.random() < spec.probability
+            ):
+                events = self.events
+                if events.wants(TransferFailed):
+                    events.publish(
+                        TransferFailed(
+                            time=self.engine.now,
+                            gpu=dst,
+                            data_id=data_id,
+                            attempt=attempt,
+                        )
+                    )
+                delay = spec.backoff_base * (
+                    spec.backoff_factor ** (attempt - 1)
+                )
+                self.engine.schedule(
+                    delay,
+                    lambda: self._retry(size, dst, on_complete, data_id, attempt),
+                )
+                return
+            on_complete()
+
+        self.inner.submit(size, dst, done, data_id=data_id)
+
+    def _retry(
+        self,
+        size: float,
+        dst: int,
+        on_complete: Callable[[], None],
+        data_id: int,
+        failed_attempt: int,
+    ) -> None:
+        if not self.alive(dst):
+            return  # destination died during the backoff; nobody waits
+        events = self.events
+        if events.wants(TransferRetried):
+            events.publish(
+                TransferRetried(
+                    time=self.engine.now,
+                    gpu=dst,
+                    data_id=data_id,
+                    attempt=failed_attempt + 1,
+                )
+            )
+        self._attempt(size, dst, on_complete, data_id, failed_attempt + 1)

@@ -28,6 +28,7 @@ from typing import Callable, Optional, Union
 from repro.core.problem import TaskGraph
 from repro.platform.spec import PlatformSpec
 from repro.schedulers.base import Scheduler
+from repro.simulator.faults import FaultPlan
 from repro.simulator.kernel import RuntimeKernel, SimulationDeadlock
 from repro.simulator.sanitizer import Sanitizer
 from repro.simulator.trace import RunResult
@@ -55,6 +56,7 @@ def simulate(
     decision_op_cost: float = 5e-8,
     dependencies: Optional[object] = None,
     sanitize: Union[None, bool, Sanitizer] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> RunResult:
     """Run ``graph`` on ``platform`` under ``scheduler`` and return stats.
 
@@ -69,6 +71,9 @@ def simulate(
     ``sanitize`` turns on the model-invariant sanitizer for this run
     (``True``, or a :class:`repro.simulator.sanitizer.Sanitizer` to
     collect violations); ``None`` defers to the module-level switch.
+    ``faults`` is a :class:`repro.simulator.faults.FaultPlan` of
+    deterministic injected failures; an empty (or absent) plan leaves
+    the run byte-identical to a fault-free one.
     """
     return Runtime(
         graph,
@@ -81,4 +86,5 @@ def simulate(
         decision_op_cost=decision_op_cost,
         dependencies=dependencies,
         sanitize=sanitize,
+        faults=faults,
     ).run()

@@ -14,6 +14,13 @@ SAN006    load counts at least the analytic ``core.schedule`` Belady
           replay of the executed order (the offline lower bound), and
           static fixed schedules executed in their given order
 SAN007    same-seed double runs produce identical trace digests
+SAN008    every task completes exactly once, despite fault-injection
+          requeues (no loss, no duplicate execution)
+SAN009    no fetch is ever sourced from a failed device or a lost
+          replica (peer transfers only read surviving copies)
+SAN010    after a device failure nothing starts, fetches, or evicts on
+          the dead GPU, and the degraded-mode makespan is achievable
+          with surviving-GPU capacity only
 ========  ==========================================================
 
 Enable it three ways:
@@ -34,11 +41,12 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulator.bus import Bus
     from repro.simulator.events import EventStream
+    from repro.simulator.faults import FaultPlan
     from repro.simulator.memory import DeviceMemory
     from repro.simulator.runtime import Runtime
 
@@ -101,6 +109,13 @@ class Sanitizer:
     strict: bool = True
     violations: List[SanitizerViolation] = field(default_factory=list)
     _last_event_time: float = field(default=float("-inf"), repr=False)
+    # Fault-recovery accounting (SAN008–SAN010); reset by subscribe_to
+    # so one Sanitizer instance can watch several runs.
+    _tracking: bool = field(default=False, repr=False)
+    _task_completions: Dict[int, int] = field(default_factory=dict, repr=False)
+    _failed_gpus: Set[int] = field(default_factory=set, repr=False)
+    _last_failure_time: float = field(default=float("-inf"), repr=False)
+    _post_failure_flops: float = field(default=0.0, repr=False)
 
     def report(
         self,
@@ -150,6 +165,38 @@ class Sanitizer:
             ),
             ev.TaskStarted,
         )
+        # Fault-recovery checks (SAN008–SAN010).  State is reset here so
+        # one instance can watch several runs in sequence.
+        self._tracking = True
+        self._task_completions = {}
+        self._failed_gpus = set()
+        self._last_failure_time = float("-inf")
+        self._post_failure_flops = 0.0
+        stream.subscribe(
+            lambda e: self.on_task_complete(e.gpu, e.task, e.duration, e.flops, e.time),
+            ev.TaskCompleted,
+        )
+        stream.subscribe(
+            lambda e: self.on_device_failed(e.gpu, e.time), ev.DeviceFailed
+        )
+        stream.subscribe(
+            lambda e: self.on_task_requeued(e.gpu, e.task, e.time),
+            ev.TaskRequeued,
+        )
+        stream.subscribe(
+            lambda e: self.on_peer_transfer(e.src, e.dst, e.data_id, e.time),
+            ev.PeerTransferStarted,
+        )
+        stream.subscribe(
+            lambda e: self.on_dead_gpu_activity(e.gpu, "fetch issued", e.time),
+            ev.FetchIssued,
+        )
+        stream.subscribe(
+            lambda e: self.on_dead_gpu_activity(
+                e.gpu, "fetch completed", e.time
+            ),
+            ev.FetchCompleted,
+        )
 
     # ------------------------------------------------------------------
     # engine events (SAN005)
@@ -195,6 +242,7 @@ class Sanitizer:
                 time=now,
                 gpu=gpu,
             )
+        self.on_dead_gpu_activity(gpu, f"eviction of datum {data_id}", now)
 
     # ------------------------------------------------------------------
     # bus observer (SAN004)
@@ -246,11 +294,124 @@ class Sanitizer:
                     time=now,
                     gpu=gpu,
                 )
+        self.on_dead_gpu_activity(gpu, f"start of task {task_id}", now)
+
+    # ------------------------------------------------------------------
+    # fault-recovery hooks (SAN008 / SAN009 / SAN010)
+    # ------------------------------------------------------------------
+    def on_task_complete(
+        self, gpu: int, task_id: int, duration: float, flops: float, now: float
+    ) -> None:
+        count = self._task_completions.get(task_id, 0) + 1
+        self._task_completions[task_id] = count
+        if count > 1:
+            self.report(
+                "SAN008",
+                f"task {task_id} completed {count} times (duplicate "
+                "execution after a requeue)",
+                time=now,
+                gpu=gpu,
+            )
+        if self._failed_gpus:
+            if gpu in self._failed_gpus:
+                self.report(
+                    "SAN010",
+                    f"task {task_id} completed on failed GPU {gpu}",
+                    time=now,
+                    gpu=gpu,
+                )
+            elif now - duration >= self._last_failure_time - _TOL:
+                # work entirely inside the degraded window counts toward
+                # the surviving-capacity bound checked in after_run
+                self._post_failure_flops += flops
+
+    def on_device_failed(self, gpu: int, now: float) -> None:
+        self._failed_gpus.add(gpu)
+        self._last_failure_time = max(self._last_failure_time, now)
+
+    def on_task_requeued(self, gpu: int, task_id: int, now: float) -> None:
+        if self._task_completions.get(task_id, 0) > 0:
+            self.report(
+                "SAN008",
+                f"already-completed task {task_id} was requeued from "
+                f"failed GPU {gpu}",
+                time=now,
+                gpu=gpu,
+            )
+
+    def on_peer_transfer(
+        self, src: int, dst: int, data_id: int, now: float
+    ) -> None:
+        if src in self._failed_gpus:
+            self.report(
+                "SAN009",
+                f"fetch of datum {data_id} sourced from failed GPU {src} "
+                "(lost replica)",
+                time=now,
+                gpu=dst,
+            )
+        self.on_dead_gpu_activity(dst, f"peer fetch of datum {data_id}", now)
+
+    def on_dead_gpu_activity(self, gpu: int, what: str, now: float) -> None:
+        """Any runtime activity on a failed GPU is a SAN010 violation."""
+        if gpu in self._failed_gpus:
+            self.report(
+                "SAN010",
+                f"{what} on failed GPU {gpu}",
+                time=now,
+                gpu=gpu,
+            )
 
     def after_run(self, runtime: "Runtime") -> None:
-        """Post-run checks: analytic replay cross-check (SAN006)."""
+        """Post-run checks: replay cross-check (SAN006), exactly-once
+        completion (SAN008), degraded-capacity bound (SAN010)."""
         self._check_fixed_order(runtime)
         self._check_load_lower_bound(runtime)
+        self._check_exactly_once(runtime)
+        self._check_degraded_capacity(runtime)
+
+    def _check_exactly_once(self, runtime: "Runtime") -> None:
+        """SAN008: every task completed exactly once despite requeues."""
+        if not self._tracking:
+            return  # this instance never watched the event stream
+        for t in range(runtime.graph.n_tasks):
+            count = self._task_completions.get(t, 0)
+            if count != 1:
+                self.report(
+                    "SAN008",
+                    f"task {t} completed {count} times (expected exactly "
+                    "once)",
+                    time=runtime.engine.now,
+                )
+
+    def _check_degraded_capacity(self, runtime: "Runtime") -> None:
+        """SAN010: post-failure work fits the surviving-GPU capacity.
+
+        Every task that both started and finished after the (last)
+        failure must have run on a surviving GPU, so the flops executed
+        in the degraded window cannot exceed what the surviving devices
+        (at their straggler-adjusted rates) can deliver in that window.
+        """
+        if not self._failed_gpus:
+            return
+        elapsed = runtime.engine.now - self._last_failure_time
+        if elapsed <= 0:
+            return
+        rate = sum(
+            runtime.platform.gpus[k].gflops * 1e9 / runtime._slowdown[k]
+            for k in range(runtime.platform.n_gpus)
+            if not runtime.dead[k]
+        )
+        budget = rate * elapsed
+        if self._post_failure_flops > budget * (1 + _REL_TOL) + _TOL:
+            self.report(
+                "SAN010",
+                f"degraded-mode window executed "
+                f"{self._post_failure_flops:.3e} flops but surviving "
+                f"capacity only delivers {budget:.3e} in "
+                f"{elapsed!r} seconds",
+                time=runtime.engine.now,
+            )
 
     def _check_fixed_order(self, runtime: "Runtime") -> None:
         from repro.schedulers.fixed import FixedSchedule
@@ -260,6 +421,8 @@ class Sanitizer:
             return
         if sched.use_ready or sched.use_stealing:
             return  # reordering/stealing legitimately permute the order
+        if any(runtime.dead):
+            return  # device loss legitimately reassigns the fixed order
         for k, order in enumerate(sched.schedule.order):
             executed = runtime.executed_order[k]
             if list(order) != list(executed):
@@ -337,11 +500,14 @@ def check_determinism(
     window: int = 2,
     seed: int = 0,
     sanitizer: Optional[Sanitizer] = None,
+    faults: Optional["FaultPlan"] = None,
 ) -> str:
     """Run the same simulation twice and compare trace digests (SAN007).
 
     Returns the digest.  A mismatch is reported through ``sanitizer``
-    (a fresh strict one by default, i.e. it raises).
+    (a fresh strict one by default, i.e. it raises).  ``faults`` is an
+    optional :class:`repro.simulator.faults.FaultPlan` applied to both
+    runs — a pinned plan must reproduce its full recovery trace.
     """
     from repro.schedulers.registry import make_scheduler
     from repro.simulator.runtime import simulate
@@ -360,6 +526,7 @@ def check_determinism(
                 seed=seed,
                 record_trace=True,
                 sanitize=Sanitizer(strict=san.strict),
+                faults=faults,
             )
         )
     a, b = results

@@ -15,8 +15,10 @@ class TraceEvent:
     """One timestamped runtime event.
 
     ``kind`` is one of ``fetch_start``, ``fetch_end``, ``task_start``,
-    ``task_end``, ``evict``, ``steal``; ``ref`` is the data id, task id,
-    or (for ``steal``) the victim GPU index.
+    ``task_end``, ``evict``, ``steal``, or — under fault injection —
+    ``device_failed``, ``task_requeued``, ``replica_lost``,
+    ``xfer_fail``, ``xfer_retry``; ``ref`` is the data id, task id, or
+    (for ``steal``) the victim GPU index.
     """
 
     time: float
@@ -81,6 +83,18 @@ class TraceRecorder:
         stream.subscribe(data_kind("evict"), ev.Evicted)
         stream.subscribe(data_kind("store_start"), ev.WriteBackStarted)
         stream.subscribe(data_kind("store_end"), ev.WriteBackCompleted)
+        # Fault-injection kinds.  These events only occur under a fault
+        # plan, so subscribing them never perturbs fault-free digests;
+        # under a plan they make recovery part of the SAN007 contract.
+
+        def device_failed(e: "RuntimeEvent") -> None:
+            self.record(e.time, "device_failed", e.gpu, e.gpu)  # type: ignore[attr-defined]
+
+        stream.subscribe(device_failed, ev.DeviceFailed)
+        stream.subscribe(task_kind("task_requeued"), ev.TaskRequeued)
+        stream.subscribe(data_kind("replica_lost"), ev.DataReplicaLost)
+        stream.subscribe(data_kind("xfer_fail"), ev.TransferFailed)
+        stream.subscribe(data_kind("xfer_retry"), ev.TransferRetried)
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == kind]

@@ -36,6 +36,16 @@ class RuntimeView:
     def n_gpus(self) -> int:
         return self.platform.n_gpus
 
+    def is_alive(self, gpu: int) -> bool:
+        """Whether ``gpu`` is still part of the device set (fault
+        injection can remove devices mid-run)."""
+        return not self._rt.dead[gpu]
+
+    def alive_gpus(self) -> List[int]:
+        """Indices of the GPUs still alive, ascending."""
+        dead = self._rt.dead
+        return [k for k in range(self.platform.n_gpus) if not dead[k]]
+
     def present(self, gpu: int) -> Set[int]:
         """Data fully resident on ``gpu``."""
         return self._rt.memories[gpu].present_set()

@@ -41,6 +41,9 @@ class WorkerState:
     sched_free_at: float = 0.0
     #: pending wake-up for a decision-gated head task
     gate_event: Optional[EventHandle] = None
+    #: completion event of the executing task — cancelled when the
+    #: device fails so a dead GPU never reports a task done
+    exec_event: Optional[EventHandle] = None
 
 
 class Worker:
@@ -104,7 +107,12 @@ class Worker:
         duration = k.graph.tasks[head].flops / (
             k.platform.gpus[gpu].gflops * 1e9
         )
-        k.engine.schedule(duration, lambda: self._on_task_done(head, duration))
+        slowdown = k._slowdown[gpu]
+        if slowdown != 1.0:
+            duration *= slowdown
+        w.exec_event = k.engine.schedule(
+            duration, lambda: self._on_task_done(head, duration)
+        )
         # Execution frees a buffer slot: pull more work to prefetch.
         k.prefetcher.fill_buffer(gpu)
 
@@ -117,6 +125,7 @@ class Worker:
         w = self.state
         gpu = self.gpu
         assert w.executing == task
+        w.exec_event = None
         mem = k.memories[gpu]
         for d in k.graph.inputs_of(task):
             mem.unpin(d)
@@ -151,6 +160,10 @@ class Worker:
                 )
             )
         k._remaining -= 1
+        if k._remaining == 0 and k._fault_handles:
+            # Nothing left to fail: cancel pending injected failures so
+            # they cannot drain the heap past the true makespan.
+            k._cancel_pending_faults()
 
         if k.dependencies is not None:
             for succ in k.dependencies.succs[task]:

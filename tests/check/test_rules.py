@@ -244,6 +244,8 @@ class TestAPIConformance:
             "        self.caps = [view.capacity(k) for k in range(view.n_gpus)]\n"
             "    def next_task(self, gpu):\n"
             "        return sorted(self.view.present(gpu))\n"
+            "    def on_device_lost(self, gpu, requeued):\n"
+            "        pass\n"
         )
         violations = lint(tmp_path, src, filename="repro/schedulers/ok.py")
         assert codes(violations) == []
@@ -340,3 +342,84 @@ class TestPERF001FullRescan:
         )
         violations = lint(tmp_path, src, filename="repro/schedulers/pk.py")
         assert "PERF001" not in codes(violations)
+
+
+class TestAPI004DeviceListCache:
+    BAD = (
+        "class MyScheduler:\n"
+        "    def prepare(self, view):\n"
+        "        self.lists = [[] for _ in range(view.n_gpus)]\n"
+    )
+
+    def test_cached_device_state_without_hook_flagged(self, tmp_path):
+        violations = lint(
+            tmp_path, self.BAD, filename="repro/schedulers/mine.py"
+        )
+        assert "API004" in codes(violations)
+
+    def test_on_device_lost_in_body_ok(self, tmp_path):
+        src = self.BAD + (
+            "    def on_device_lost(self, gpu, requeued):\n"
+            "        pass\n"
+        )
+        violations = lint(
+            tmp_path, src, filename="repro/schedulers/mine.py"
+        )
+        assert "API004" not in codes(violations)
+
+    def test_drop_gpu_container_contract_ok(self, tmp_path):
+        src = (
+            "class Lists:\n"
+            "    def __init__(self, n_gpus):\n"
+            "        self.lists = [[] for _ in range(n_gpus)]\n"
+            "    def drop_gpu(self, gpu, requeued):\n"
+            "        pass\n"
+        )
+        violations = lint(
+            tmp_path, src, filename="repro/schedulers/ready2.py"
+        )
+        assert "API004" not in codes(violations)
+
+    def test_no_device_sizing_ok(self, tmp_path):
+        src = (
+            "class Eagerish:\n"
+            "    def prepare(self, view):\n"
+            "        self.queue = list(view.graph.tasks)\n"
+        )
+        violations = lint(
+            tmp_path, src, filename="repro/schedulers/eagerish.py"
+        )
+        assert "API004" not in codes(violations)
+
+    def test_silent_outside_schedulers_package(self, tmp_path):
+        violations = lint(
+            tmp_path, self.BAD, filename="repro/eviction/mine.py"
+        )
+        assert "API004" not in codes(violations)
+
+    def test_bare_n_gpus_name_read_flagged(self, tmp_path):
+        src = (
+            "class S:\n"
+            "    def prepare(self, view):\n"
+            "        n_gpus = view.n_gpus\n"
+            "        self.loads = [0.0] * n_gpus\n"
+        )
+        violations = lint(tmp_path, src, filename="repro/schedulers/s.py")
+        assert "API004" in codes(violations)
+
+    def test_shipped_schedulers_pass(self):
+        """The acceptance check: every shipped scheduler already
+        participates in the device-loss protocol."""
+        from pathlib import Path
+
+        import repro.schedulers as pkg
+        from repro.check.lint.framework import Linter
+
+        root = Path(pkg.__file__).resolve().parent
+        violations = [
+            v
+            for p in sorted(root.glob("*.py"))
+            for v in Linter().lint_file(p)
+            if v.code == "API004"
+        ]
+        assert violations == []
